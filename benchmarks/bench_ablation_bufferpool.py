@@ -1,0 +1,58 @@
+"""Ablation: buffer-pool capacity vs physical I/O on repeated queries.
+
+The disk indexes are read through an LRU buffer pool
+(:mod:`repro.storage.pager`).  A production serving tier answers many
+queries against the same index, so pool capacity directly trades memory
+for physical page reads.  This ablation replays a query workload against
+the IRR index at several pool capacities and records the hit ratio — the
+knob a deployment would actually tune.
+"""
+
+import pytest
+
+from repro.core.irr_index import IRRIndex
+from repro.datasets.workload import make_workload
+from repro.experiments.reporting import Table
+from repro.storage.iostats import IOStats
+from repro.storage.pager import BufferPool
+
+from conftest import emit
+
+CAPACITIES = (8, 64, 512, 4096)
+
+
+def test_ablation_buffer_pool(ctx, benchmark, results_dir):
+    ds = ctx.default_dataset("twitter")
+    ctx.build_index(ds, kind="irr")
+    path = ctx.index_path(ds, kind="irr")
+    queries = list(
+        make_workload(ds.profiles, length=3, k=20, n_queries=6, rng=99)
+    )
+
+    def sweep():
+        table = Table(
+            "Ablation: buffer-pool capacity (IRR, repeated queries)",
+            ("capacity (pages)", "physical pages", "cached pages", "hit ratio"),
+        )
+        for capacity in CAPACITIES:
+            stats = IOStats()
+            pool = BufferPool(capacity)
+            with IRRIndex(path, stats=stats, pool=pool) as index:
+                for query in queries:
+                    index.query(query)
+            table.add_row(
+                capacity,
+                stats.pages_read,
+                stats.pages_hit,
+                stats.hit_ratio,
+            )
+        table.add_note("same 6-query workload replayed at each capacity")
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(table, results_dir, "ablation_bufferpool")
+
+    ratios = table.column("hit ratio")
+    # More cache can only help, and a big pool must serve mostly from RAM.
+    assert ratios[-1] >= ratios[0]
+    assert ratios[-1] > 0.5

@@ -1,0 +1,59 @@
+"""Ablation: IRR partition size δ (the paper fixes δ = 100).
+
+DESIGN.md calls out δ as the IRR index's key tuning knob: small
+partitions give fine-grained incremental loading (fewer RR sets touched,
+more I/Os), large partitions amortise I/O but load more data per step.
+This bench sweeps δ on the default twitter-like dataset and records the
+query-cost trade-off the paper's fixed setting sits on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.irr_index import IRRIndex, IRRIndexBuilder
+from repro.core.query import KBTIMQuery
+from repro.experiments.reporting import Table
+
+from conftest import emit
+
+DELTAS = (10, 50, 100, 200)
+
+
+def test_ablation_partition_size(ctx, benchmark, results_dir):
+    ds = ctx.default_dataset("twitter")
+    tables = ctx.keyword_tables(ds)
+    policy = ctx.scale.policy
+
+    def sweep():
+        result = Table(
+            "Ablation: IRR partition size delta",
+            ("delta", "I/Os", "RR sets loaded", "partitions", "time (s)"),
+        )
+        query = KBTIMQuery(
+            tuple(sorted(tables)[:3]), ctx.scale.default_k
+        )
+        for delta in DELTAS:
+            path = f"{ctx.workdir}/{ds.name}-ablation-{delta}.irr"
+            IRRIndexBuilder(
+                ds.ic_model, ds.profiles, policy=policy, delta=delta
+            ).build(path, tables=tables)
+            with IRRIndex(path) as index:
+                answer = index.query(query)
+            result.add_row(
+                delta,
+                answer.stats.io.read_calls,
+                answer.stats.rr_sets_loaded,
+                answer.stats.partitions_loaded,
+                answer.stats.elapsed_seconds,
+            )
+        result.add_note("paper setting: delta = 100")
+        return result
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(table, results_dir, "ablation_delta")
+
+    ios = table.column("I/Os")
+    partitions = table.column("partitions")
+    # Finer partitions require at least as many partition loads.
+    assert partitions[0] >= partitions[-1]
+    assert all(v > 0 for v in ios)

@@ -1,0 +1,27 @@
+"""Figure 4: in-degree distributions of both dataset families.
+
+Paper shape: both distributions are heavy-tailed on log-log axes, with
+Twitter's tail reaching far larger in-degrees (hubs followed by a large
+share of the network) than the news graph's.
+"""
+
+from repro.experiments.figures import run_figure4
+
+from conftest import emit
+
+
+def test_figure4_in_degree_distributions(ctx, benchmark, results_dir):
+    table = benchmark.pedantic(lambda: run_figure4(ctx), rounds=1, iterations=1)
+    emit(table, results_dir, "figure4")
+
+    by_family = {"news": [], "twitter": []}
+    for row in table.rows:
+        family = "news" if str(row[0]).startswith("news") else "twitter"
+        by_family[family].append(row)
+
+    news_n = ctx.default_dataset("news").graph.n
+    twitter_n = ctx.default_dataset("twitter").graph.n
+    news_max = max(r[1] for r in by_family["news"]) / news_n
+    twitter_max = max(r[1] for r in by_family["twitter"]) / twitter_n
+    # Twitter hubs reach a larger in-degree relative to graph size.
+    assert twitter_max > news_max

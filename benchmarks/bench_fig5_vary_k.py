@@ -1,0 +1,43 @@
+"""Figure 5: execution time and RR sets loaded while varying Q.k.
+
+Paper shape: the disk indexes answer queries orders of magnitude faster
+than online WRIS (160x / 434x on Twitter); the RR index loads a
+θ-determined, k-invariant number of sets while IRR's loads grow with Q.k
+and stay below RR's on the twitter-like graph.
+
+The pure-Python gap between WRIS and the indexes is smaller than C++'s
+(decoding costs relatively more than SIMD; sampling costs relatively less
+than a disk-resident testbed) — EXPERIMENTS.md discusses the deltas.  The
+bench asserts the *ordering*, which is the transferable claim.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import run_figure5
+
+from conftest import emit
+
+
+def test_figure5_vary_k(ctx, benchmark, results_dir):
+    table = benchmark.pedantic(lambda: run_figure5(ctx), rounds=1, iterations=1)
+    emit(table, results_dir, "figure5")
+
+    wris = np.array(table.column("WRIS time (s)"))
+    rr = np.array(table.column("RR time (s)"))
+    irr = np.array(table.column("IRR time (s)"))
+    # Indexes beat online sampling clearly on average (paper: 160x/434x;
+    # pure Python attenuates the ratio — see EXPERIMENTS.md).
+    assert rr.mean() < wris.mean()
+    assert irr.mean() < wris.mean()
+
+    # IRR's incremental loading grows with k and never exceeds RR's
+    # θ^Q-determined prefix (it converges to it for large k).
+    for dataset in {str(r[0]) for r in table.rows}:
+        rows = sorted(
+            (r for r in table.rows if str(r[0]) == dataset), key=lambda r: r[1]
+        )
+        rr_loads = [r[5] for r in rows]
+        irr_loads = [r[6] for r in rows]
+        assert irr_loads[-1] >= irr_loads[0]
+        for rr_load, irr_load in zip(rr_loads, irr_loads):
+            assert irr_load <= rr_load + 1

@@ -1,0 +1,30 @@
+"""Figure 6: execution time and RR sets loaded while varying |Q.T|.
+
+Paper shape: the index methods stay orders of magnitude below WRIS across
+query lengths 1-6; the number of RR sets the indexes touch grows with the
+number of query keywords (more per-keyword prefixes to merge).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import run_figure6
+
+from conftest import emit
+
+
+def test_figure6_vary_keywords(ctx, benchmark, results_dir):
+    table = benchmark.pedantic(lambda: run_figure6(ctx), rounds=1, iterations=1)
+    emit(table, results_dir, "figure6")
+
+    wris = np.array(table.column("WRIS time (s)"))
+    rr = np.array(table.column("RR time (s)"))
+    irr = np.array(table.column("IRR time (s)"))
+    assert rr.mean() < wris.mean()
+    assert irr.mean() < wris.mean()
+
+    # More keywords -> more RR sets considered by the RR index.
+    for dataset in {str(r[0]) for r in table.rows}:
+        rows = sorted(
+            (r for r in table.rows if str(r[0]) == dataset), key=lambda r: r[1]
+        )
+        assert rows[-1][5] >= rows[0][5]

@@ -1,0 +1,85 @@
+"""Micro-benchmarks for the hot paths (proper pytest-benchmark loops).
+
+Not a paper table — these measure the primitives whose costs the paper's
+architecture trades against each other: online RR sampling (what WRIS
+pays per query) versus decode-from-disk (what the indexes pay), greedy
+coverage, codec throughput, and paged reads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
+from repro.core.sampler import sample_rr_sets, sample_uniform_roots
+from repro.graph.generators import twitter_like
+from repro.propagation.ic import IndependentCascade
+from repro.storage.compression import Codec, compress_ids, decompress_ids
+from repro.storage.pager import BufferPool, PagedFile
+from repro.storage.records import RRSetsRecord
+
+
+@pytest.fixture(scope="module")
+def model():
+    return IndependentCascade(twitter_like(2000, avg_degree=12, rng=77))
+
+
+@pytest.fixture(scope="module")
+def rr_sets(model):
+    rng = np.random.default_rng(78)
+    roots = sample_uniform_roots(model.graph.n, 500, rng)
+    return sample_rr_sets(model, roots, rng)
+
+
+def test_online_rr_sampling_throughput(model, benchmark):
+    """What WRIS pays per query, per 100 RR sets."""
+    rng = np.random.default_rng(79)
+    roots = sample_uniform_roots(model.graph.n, 100, rng)
+
+    benchmark(lambda: sample_rr_sets(model, roots, rng))
+
+
+def test_rr_record_decode_throughput(rr_sets, benchmark):
+    """What the RR index pays per query for the same 500 sets."""
+    record = RRSetsRecord.encode(rr_sets, Codec.PFOR)
+
+    benchmark(lambda: RRSetsRecord.decode_all(record))
+
+
+def test_greedy_coverage(rr_sets, model, benchmark):
+    instance = CoverageInstance(model.graph.n, rr_sets)
+
+    benchmark(lambda: lazy_greedy_max_coverage(instance, 20))
+
+
+@pytest.mark.parametrize("codec", [Codec.VARINT, Codec.PFOR])
+def test_codec_encode(codec, benchmark):
+    ids = np.sort(
+        np.random.default_rng(80).choice(10**6, size=5000, replace=False)
+    ).astype(np.int64)
+
+    benchmark(lambda: compress_ids(ids, codec))
+
+
+@pytest.mark.parametrize("codec", [Codec.VARINT, Codec.PFOR])
+def test_codec_decode(codec, benchmark):
+    ids = np.sort(
+        np.random.default_rng(81).choice(10**6, size=5000, replace=False)
+    ).astype(np.int64)
+    blob = compress_ids(ids, codec)
+
+    benchmark(lambda: decompress_ids(blob))
+
+
+def test_paged_random_reads(tmp_path_factory, benchmark):
+    path = tmp_path_factory.mktemp("pager") / "blob.bin"
+    path.write_bytes(b"\xab" * (1 << 20))
+    rng = np.random.default_rng(82)
+    offsets = rng.integers(0, (1 << 20) - 256, size=200)
+
+    def read_all():
+        pool = BufferPool(32)
+        with PagedFile(path, pool=pool) as f:
+            for offset in offsets:
+                f.read(int(offset), 256)
+
+    benchmark(read_all)

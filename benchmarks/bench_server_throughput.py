@@ -1,0 +1,68 @@
+"""Serving-tier throughput: cold index queries vs warm keyword-block cache.
+
+Beyond the paper: the deployment the paper motivates (an ad platform
+answering a query *stream*) amortises keyword decode work across queries.
+This bench measures the steady-state speedup of the
+:class:`~repro.core.server.KBTIMServer` keyword cache over re-reading the
+index per query, on a popularity-skewed workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rr_index import RRIndex
+from repro.core.server import KBTIMServer
+from repro.datasets.workload import make_workload
+
+from conftest import emit
+from repro.experiments.reporting import Table
+
+
+@pytest.fixture(scope="module")
+def serving_setup(ctx):
+    ds = ctx.default_dataset("twitter")
+    ctx.build_index(ds, kind="rr")
+    path = ctx.index_path(ds, kind="rr")
+    queries = list(
+        make_workload(ds.profiles, length=3, k=20, n_queries=12, rng=55)
+    )
+    return path, queries
+
+
+def test_cold_index_queries(serving_setup, benchmark):
+    path, queries = serving_setup
+
+    def run_cold():
+        with RRIndex(path) as index:
+            for query in queries:
+                index.query(query)
+
+    benchmark.pedantic(run_cold, rounds=3, iterations=1)
+
+
+def test_warm_server_queries(serving_setup, benchmark, results_dir):
+    path, queries = serving_setup
+    server = KBTIMServer(RRIndex(path), cache_keywords=32)
+    for query in queries:  # warm-up pass
+        server.query(query)
+
+    def run_warm():
+        for query in queries:
+            server.query(query)
+
+    benchmark.pedantic(run_warm, rounds=3, iterations=1)
+
+    table = Table(
+        "Serving tier: keyword-block cache statistics",
+        ("queries", "keyword hits", "keyword misses", "hit ratio", "p95 (ms)"),
+    )
+    table.add_row(
+        server.stats.queries,
+        server.stats.keyword_hits,
+        server.stats.keyword_misses,
+        server.stats.hit_ratio,
+        server.stats.percentile_latency(95) * 1e3,
+    )
+    emit(table, results_dir, "server_throughput")
+    assert server.stats.hit_ratio > 0.5
+    server.index.close()

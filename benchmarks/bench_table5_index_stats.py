@@ -1,0 +1,27 @@
+"""Table 5: Σθ_w and mean RR-set size as the graph grows.
+
+Paper shape: the two factors pull in opposite directions — Σθ_w grows
+with |V| (the bounds scale with ln|V| and the relevance mass) while the
+mean RR-set size falls because the published size sequences get *sparser*
+(Table 2's decreasing average degree).
+"""
+
+from repro.experiments.tables import run_table5
+
+from conftest import emit
+
+
+def test_table5_index_stats(ctx, benchmark, results_dir):
+    table = benchmark.pedantic(lambda: run_table5(ctx), rounds=1, iterations=1)
+    emit(table, results_dir, "table5")
+
+    rows_by_family = {"news": [], "twitter": []}
+    for row in table.rows:
+        family = "news" if str(row[0]).startswith("news") else "twitter"
+        rows_by_family[family].append(row)
+
+    for family, rows in rows_by_family.items():
+        rows.sort(key=lambda r: r[1])  # by |V|
+        sizes = [r[3] for r in rows]
+        # Mean RR-set size must fall from smallest to largest graph.
+        assert sizes[-1] < sizes[0], f"{family}: RR size should fall with |V|"

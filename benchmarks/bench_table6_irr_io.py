@@ -1,0 +1,20 @@
+"""Table 6: number of I/Os issued by the IRR index as Q.k grows.
+
+Paper shape: the I/O count grows with the seed budget (6 -> 170 on news,
+8 -> 81 on Twitter as Q.k goes 10 -> 50), because confirming more seeds
+forces more partitions to be loaded before the NRA bound closes.
+"""
+
+from repro.experiments.tables import run_table6
+
+from conftest import emit
+
+
+def test_table6_irr_io(ctx, benchmark, results_dir):
+    table = benchmark.pedantic(lambda: run_table6(ctx), rounds=1, iterations=1)
+    emit(table, results_dir, "table6")
+
+    for row in table.rows:
+        ios = list(row[1:])
+        assert ios[-1] > ios[0], f"{row[0]}: I/O must grow with Q.k"
+        assert all(v > 0 for v in ios)

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper's
+evaluation (Section 6).  A session-scoped :class:`ExperimentContext` at
+``default`` scale is shared across files so datasets and index builds are
+paid once, like the paper's offline phase.  Each bench
+
+1. runs the experiment under ``benchmark.pedantic`` (1 round — these are
+   experiment regenerators, not micro-benchmarks; see
+   ``bench_micro_ops.py`` for tight-loop measurements),
+2. prints the paper-shaped table,
+3. persists it as CSV under ``benchmarks/results/``,
+4. asserts the qualitative *shape* recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext, ExperimentScale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Default-scale experiment context shared by the whole session."""
+    with ExperimentContext(ExperimentScale.default()) as context:
+        yield context
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(table, results_dir: str, name: str) -> None:
+    """Print a result table and persist it as CSV."""
+    print()
+    print(table.render())
+    table.to_csv(os.path.join(results_dir, f"{name}.csv"))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Targeted advertising campaign: the scenario from the paper's intro.
+
+An advertiser runs three campaigns with different keyword profiles on the
+same social platform (a news-media-like link graph).  For each campaign we
+select seed influencers with a KB-TIM query and compare against
+
+* the *untargeted* RIS baseline (the same celebrities for every ad), and
+* a naive "most followed" heuristic (out-degree ranking).
+
+The output shows per-campaign targeted reach: KB-TIM seeds adapt to each
+advertisement while both baselines return keyword-oblivious answers.
+
+Run:  python examples/ad_campaign.py
+"""
+
+import numpy as np
+
+from repro import (
+    IndependentCascade,
+    KBTIMQuery,
+    ThetaPolicy,
+    TopicSpace,
+    estimate_spread,
+    news_like,
+    ris_query,
+    wris_query,
+    zipf_profiles,
+)
+
+CAMPAIGNS = {
+    "indie game launch": ["games", "music"],
+    "finance newsletter": ["finance", "investing"],
+    "trail-running shoes": ["running", "outdoors", "fitness"],
+}
+
+K = 8  # seed budget per campaign
+
+
+def top_out_degree_heuristic(graph, k):
+    """The 'most followed accounts' folk strategy."""
+    return tuple(int(v) for v in np.argsort(-graph.out_degrees())[:k])
+
+
+def main() -> None:
+    print("building a news-media-like platform ...")
+    graph = news_like(2000, avg_degree=4.0, rng=11)
+    topics = TopicSpace.default(48)
+    profiles = zipf_profiles(graph.n, topics, mean_topics_per_user=3, rng=11)
+    model = IndependentCascade(graph)
+    policy = ThetaPolicy(epsilon=0.6, K=50, cap=1000, online_cap=20_000)
+
+    untargeted = ris_query(model, K, policy=policy, rng=11)
+    celebrity = top_out_degree_heuristic(graph, K)
+    print(f"untargeted RIS seeds  : {list(untargeted.seeds)}")
+    print(f"most-followed accounts: {list(celebrity)}")
+
+    print(f"\n{'campaign':24} {'targeted reach':>15} {'RIS reach':>11} "
+          f"{'celebrity':>11}  seeds")
+    print("-" * 100)
+    for campaign, keywords in CAMPAIGNS.items():
+        query = KBTIMQuery(keywords, K)
+        answer = wris_query(model, profiles, query, policy=policy, rng=11)
+        weights = profiles.phi_vector(keywords)
+
+        def reach(seeds):
+            return estimate_spread(
+                model, seeds, n_samples=250, weights=weights, rng=11
+            ).mean
+
+        print(
+            f"{campaign:24} {reach(answer.seeds):15.2f} "
+            f"{reach(untargeted.seeds):11.2f} {reach(celebrity):11.2f}  "
+            f"{list(answer.seeds)}"
+        )
+
+    print("\nTargeted seeds change with every campaign and dominate both")
+    print("keyword-oblivious strategies on *relevant* reach — the paper's")
+    print("motivation for KB-TIM over classic IM (Sections 1 and 6.6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Propagation-model comparison: IC vs LT vs general triggering.
+
+Section 6.6 of the paper reports KB-TIM results under both the
+Independent Cascade and Linear Threshold models (Table 8) and argues the
+whole WRIS machinery is model-agnostic because reverse-reachable sampling
+is defined for any triggering model.
+
+This example runs the same advertisement under three models on the same
+graph and profiles — including IC re-expressed as a *general triggering*
+model, which must agree with native IC statistically.
+
+Run:  python examples/model_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    GeneralTriggering,
+    IndependentCascade,
+    KBTIMQuery,
+    LinearThreshold,
+    ThetaPolicy,
+    TopicSpace,
+    estimate_spread,
+    twitter_like,
+    wris_query,
+    zipf_profiles,
+)
+
+
+def describe(profiles, topics, seeds, keyword):
+    """Annotate each seed with its preference for the ad keyword."""
+    parts = []
+    for seed in seeds:
+        tf = profiles.tf(seed, keyword)
+        parts.append(f"{seed}({tf:.2f})")
+    return " ".join(parts)
+
+
+def main() -> None:
+    graph = twitter_like(1000, avg_degree=10, rng=31)
+    topics = TopicSpace.default(12)
+    profiles = zipf_profiles(graph.n, topics, rng=31)
+    policy = ThetaPolicy(epsilon=0.6, K=20, cap=1500, online_cap=15_000)
+
+    models = {
+        "IC": IndependentCascade(graph),
+        "LT": LinearThreshold(graph, weight_rng=31),
+        "TR(IC)": GeneralTriggering.independent(graph),
+    }
+
+    keyword = "music"
+    query = KBTIMQuery([keyword], k=8)
+    print(f"advertisement: {query!r}")
+    print(f"seeds annotated with tf(seed, {keyword!r})\n")
+
+    results = {}
+    for name, model in models.items():
+        answer = wris_query(model, profiles, query, policy=policy, rng=31)
+        results[name] = answer
+        spread = estimate_spread(
+            model,
+            answer.seeds,
+            n_samples=200,
+            weights=profiles.phi_vector([keyword]),
+            rng=31,
+        )
+        print(f"{name:7} spread={spread.mean:8.2f}  "
+              f"seeds: {describe(profiles, topics, answer.seeds, keyword)}")
+
+    ic = set(results["IC"].seeds)
+    tr = set(results["TR(IC)"].seeds)
+    overlap = len(ic & tr) / len(ic)
+    print(f"\nIC vs TR(IC) seed overlap: {overlap:.0%} "
+          "(same distribution, independent samples)")
+    print("LT picks can differ — edge semantics change — but all three run")
+    print("through the identical WRIS machinery, as the paper claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The paper's deployment architecture: offline sampling, online serving.
+
+An ad platform cannot run Monte-Carlo sampling inside an ad auction.  The
+paper's answer (Sections 4-5) is to move sampling offline into per-keyword
+disk indexes and leave only bounded loading + greedy coverage online.
+
+This example builds both index formats from one shared sampling pass,
+then serves a mixed stream of advertiser queries from each and prints a
+latency/I-O ledger — including the Theorem 3 check that both indexes
+return identical impact scores.
+
+Run:  python examples/offline_index_pipeline.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro import (
+    IRRIndex,
+    IRRIndexBuilder,
+    IndependentCascade,
+    KBTIMQuery,
+    RRIndex,
+    RRIndexBuilder,
+    ThetaPolicy,
+    TopicSpace,
+    twitter_like,
+    zipf_profiles,
+)
+from repro.datasets.workload import make_workload
+
+
+def main() -> None:
+    print("== offline phase ==")
+    graph = twitter_like(1200, avg_degree=10, rng=23)
+    topics = TopicSpace.default(16)
+    profiles = zipf_profiles(graph.n, topics, rng=23)
+    model = IndependentCascade(graph)
+    policy = ThetaPolicy(epsilon=0.6, K=50, cap=800)
+
+    workdir = tempfile.mkdtemp(prefix="kbtim-pipeline-")
+    rr_path = os.path.join(workdir, "platform.rr")
+    irr_path = os.path.join(workdir, "platform.irr")
+
+    builder = RRIndexBuilder(model, profiles, policy=policy, rng=23)
+    started = time.perf_counter()
+    tables = builder.sample()  # ONE sampling pass feeds both formats
+    sample_seconds = time.perf_counter() - started
+    rr_report = builder.build(rr_path, tables=tables)
+    irr_report = IRRIndexBuilder(
+        model, profiles, policy=policy, delta=50, rng=23
+    ).build(irr_path, tables=tables)
+    print(f"  sampling pass          : {sample_seconds:6.2f}s")
+    print(f"  RR index  ({rr_report.file_bytes/1024:7.0f} KB): "
+          f"{rr_report.seconds:6.2f}s write")
+    print(f"  IRR index ({irr_report.file_bytes/1024:7.0f} KB): "
+          f"{irr_report.seconds:6.2f}s write")
+
+    print("\n== online phase: serving advertiser queries ==")
+    workload = [
+        query
+        for length in (1, 2, 3, 5)
+        for query in make_workload(
+            profiles, length=length, k=10, n_queries=2, rng=length
+        )
+    ]
+
+    header = (
+        f"{'query keywords':42} {'RR ms':>8} {'RR I/O':>7} "
+        f"{'IRR ms':>8} {'IRR I/O':>8} {'scores equal':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    with RRIndex(rr_path) as rr, IRRIndex(irr_path) as irr:
+        for query in workload:
+            a = rr.query(query)
+            b = irr.query(query)
+            equal = a.marginal_coverages == b.marginal_coverages
+            print(
+                f"{', '.join(map(str, query.keywords)):42} "
+                f"{a.stats.elapsed_seconds*1e3:8.1f} "
+                f"{a.stats.io.read_calls:7d} "
+                f"{b.stats.elapsed_seconds*1e3:8.1f} "
+                f"{b.stats.io.read_calls:8d} "
+                f"{str(equal):>13}"
+            )
+            assert equal, "Theorem 3 violated!"
+
+    print("\nEvery query was served from disk in milliseconds with a")
+    print("handful of reads, and the two index formats agreed on every")
+    print("impact score (Theorem 3).")
+
+
+if __name__ == "__main__":
+    main()

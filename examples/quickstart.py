@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Quickstart: answer a KB-TIM query end to end in under a minute.
+
+Builds a small twitter-like social network with topic profiles, then asks:
+*"which 10 users maximise the expected influence over people interested in
+music or movies?"* — first online (WRIS, Section 3.2 of the paper), then
+through the disk-based RR index (Section 4), and shows that the index
+answers the same query much faster with matching quality.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro import (
+    IndependentCascade,
+    KBTIMQuery,
+    RRIndex,
+    RRIndexBuilder,
+    ThetaPolicy,
+    TopicSpace,
+    estimate_spread,
+    twitter_like,
+    wris_query,
+    zipf_profiles,
+)
+
+
+def main() -> None:
+    # --- the social network substrate -------------------------------
+    print("building a twitter-like social graph ...")
+    graph = twitter_like(1500, avg_degree=12, rng=7)
+    topics = TopicSpace.default(16)
+    profiles = zipf_profiles(graph.n, topics, rng=7)
+    model = IndependentCascade(graph)
+    print(f"  {graph!r}")
+    print(f"  {profiles!r}")
+
+    query = KBTIMQuery(["music", "movies"], k=10)
+    policy = ThetaPolicy(epsilon=0.5, K=50, cap=1000, online_cap=20_000)
+
+    # --- online baseline: WRIS --------------------------------------
+    print(f"\nanswering {query!r} online with WRIS ...")
+    started = time.perf_counter()
+    online = wris_query(model, profiles, query, policy=policy, rng=7)
+    online_seconds = time.perf_counter() - started
+    print(f"  seeds: {list(online.seeds)}")
+    print(f"  estimated targeted influence: {online.estimated_influence:.2f}")
+    print(f"  RR sets sampled online: {online.theta}")
+    print(f"  took {online_seconds:.2f}s")
+
+    # --- offline index, online query --------------------------------
+    path = os.path.join(tempfile.mkdtemp(prefix="kbtim-"), "ads.rr")
+    print(f"\nbuilding the RR index offline at {path} ...")
+    report = RRIndexBuilder(model, profiles, policy=policy, rng=7).build(path)
+    print(
+        f"  {len(report.keywords)} keywords, {report.theta_total:,} RR sets, "
+        f"{report.file_bytes / 1024:.0f} KB, built in {report.seconds:.2f}s"
+    )
+
+    with RRIndex(path) as index:
+        started = time.perf_counter()
+        offline = index.query(query)
+        offline_seconds = time.perf_counter() - started
+    print(f"  index answer: {list(offline.seeds)}")
+    print(
+        f"  took {offline_seconds:.3f}s "
+        f"({online_seconds / max(offline_seconds, 1e-9):.0f}x faster than WRIS), "
+        f"{offline.stats.io.read_calls} disk reads"
+    )
+
+    # --- verify quality by independent simulation -------------------
+    weights = profiles.phi_vector(query.keywords)
+    online_spread = estimate_spread(
+        model, online.seeds, n_samples=300, weights=weights, rng=7
+    )
+    offline_spread = estimate_spread(
+        model, offline.seeds, n_samples=300, weights=weights, rng=7
+    )
+    print("\nindependent Monte-Carlo check of the two seed sets:")
+    print(f"  WRIS    seed set spread: {online_spread.mean:8.2f}")
+    print(f"  RR idx  seed set spread: {offline_spread.mean:8.2f}")
+    print("(near-identical influence at a fraction of the query cost — the")
+    print(" paper's Table 7 + Figure 5 claims in miniature)")
+
+
+if __name__ == "__main__":
+    main()

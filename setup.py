@@ -1,0 +1,7 @@
+"""Legacy-path shim: lets ``pip install -e .`` work on environments
+without the ``wheel`` package (PEP 660 editable builds need it).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,321 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper's system has a natural operational split — generate/ingest data,
+build indexes offline, serve queries online — and this CLI exposes each
+stage so the library can be driven without writing Python:
+
+``generate``
+    Create a synthetic dataset (graph + profiles) on disk.
+``build-index``
+    Run Algorithm 1/3 over a stored dataset into an ``.rr``/``.irr`` file.
+``query``
+    Answer one KB-TIM query from a stored index (Algorithm 2/4).
+``inspect``
+    Print an index's catalog (keywords, θ_w, sizes).
+``experiment``
+    Regenerate one of the paper's tables/figures at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.irr_index import IRRIndex, IRRIndexBuilder
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
+from repro.core.theta import ThetaPolicy
+from repro.errors import CorruptIndexError, ReproError
+from repro.graph.io import load_npz as load_graph_npz
+from repro.graph.io import save_npz as save_graph_npz
+from repro.profiles.io import load_profiles_npz, save_profiles_npz
+from repro.propagation.ic import IndependentCascade
+from repro.propagation.lt import LinearThreshold
+from repro.storage.compression import Codec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KB-TIM: real-time targeted influence maximization (VLDB'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--family", choices=("news", "twitter"), required=True)
+    gen.add_argument("--n", type=int, required=True, help="number of users")
+    gen.add_argument("--topics", type=int, default=16, help="topic-space size")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--graph-out", required=True, help="output graph .npz")
+    gen.add_argument("--profiles-out", required=True, help="output profiles .npz")
+
+    build = sub.add_parser("build-index", help="build an RR or IRR index")
+    build.add_argument("--graph", required=True, help="graph .npz")
+    build.add_argument("--profiles", required=True, help="profiles .npz")
+    build.add_argument("--out", required=True, help="output index file")
+    build.add_argument("--kind", choices=("rr", "irr"), default="rr")
+    build.add_argument("--model", choices=("ic", "lt"), default="ic")
+    build.add_argument("--epsilon", type=float, default=0.5)
+    build.add_argument("--k-max", type=int, default=100, help="system K")
+    build.add_argument("--cap", type=int, default=None, help="per-keyword theta cap")
+    build.add_argument("--delta", type=int, default=100, help="IRR partition size")
+    build.add_argument(
+        "--codec", choices=("raw", "varint", "pfor"), default="pfor"
+    )
+    build.add_argument(
+        "--theta-hat",
+        action="store_true",
+        help="use the loose Lemma 3 bound instead of Lemma 4",
+    )
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel sampling processes (paper: 8 threads)",
+    )
+
+    query = sub.add_parser("query", help="answer a KB-TIM query from an index")
+    query.add_argument("--index", required=True)
+    query.add_argument(
+        "--keywords", required=True, help="comma-separated topic names"
+    )
+    query.add_argument("--k", type=int, required=True, help="seed budget Q.k")
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+
+    inspect = sub.add_parser("inspect", help="print an index catalog")
+    inspect.add_argument("--index", required=True)
+
+    verify = sub.add_parser("verify", help="integrity-check an index file")
+    verify.add_argument("--index", required=True)
+    verify.add_argument(
+        "--shallow",
+        action="store_true",
+        help="skip the deep RR-set/inverted-list cross-check",
+    )
+
+    extract = sub.add_parser(
+        "extract", help="carve a keyword subset into a new RR index"
+    )
+    extract.add_argument("--index", required=True, help="source RR index")
+    extract.add_argument("--out", required=True, help="target index file")
+    extract.add_argument(
+        "--keywords", required=True, help="comma-separated topic names"
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument(
+        "name",
+        choices=(
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+        ),
+    )
+    experiment.add_argument("--scale", choices=("smoke", "default"), default="smoke")
+    experiment.add_argument("--csv", help="also write the result table as CSV")
+    return parser
+
+
+def _policy_from_args(args: argparse.Namespace) -> ThetaPolicy:
+    return ThetaPolicy(
+        epsilon=args.epsilon,
+        K=args.k_max,
+        cap=args.cap,
+    )
+
+
+def _open_index(path: str):
+    """Open an index file, sniffing RR vs IRR from the catalog."""
+    try:
+        return RRIndex(path)
+    except CorruptIndexError:
+        return IRRIndex(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets.synthetic import news_dataset, twitter_dataset
+
+    builder = news_dataset if args.family == "news" else twitter_dataset
+    dataset = builder(n=args.n, n_topics=args.topics, seed=args.seed)
+    save_graph_npz(dataset.graph, args.graph_out)
+    save_profiles_npz(dataset.profiles, args.profiles_out)
+    print(
+        f"generated {dataset.name}: {dataset.graph.n} users, "
+        f"{dataset.graph.m} edges, {dataset.topics.size} topics"
+    )
+    print(f"  graph    -> {args.graph_out}")
+    print(f"  profiles -> {args.profiles_out}")
+    return 0
+
+
+def _cmd_build_index(args: argparse.Namespace) -> int:
+    graph = load_graph_npz(args.graph)
+    profiles = load_profiles_npz(args.profiles)
+    model = (
+        IndependentCascade(graph)
+        if args.model == "ic"
+        else LinearThreshold(graph, weight_rng=args.seed)
+    )
+    codec = Codec[args.codec.upper()]
+    policy = _policy_from_args(args)
+    if args.kind == "rr":
+        builder = RRIndexBuilder(
+            model,
+            profiles,
+            policy=policy,
+            codec=codec,
+            use_theta_hat=args.theta_hat,
+            workers=args.workers,
+            rng=args.seed,
+        )
+    else:
+        builder = IRRIndexBuilder(
+            model,
+            profiles,
+            policy=policy,
+            codec=codec,
+            use_theta_hat=args.theta_hat,
+            delta=args.delta,
+            workers=args.workers,
+            rng=args.seed,
+        )
+    report = builder.build(args.out)
+    print(
+        f"built {args.kind} index at {report.path}: "
+        f"{len(report.keywords)} keywords, {report.theta_total:,} RR sets, "
+        f"{report.file_bytes / 1024:.1f} KB in {report.seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    keywords = tuple(kw.strip() for kw in args.keywords.split(",") if kw.strip())
+    query = KBTIMQuery(keywords, args.k)
+    with _open_index(args.index) as index:
+        answer = index.query(query)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seeds": list(answer.seeds),
+                    "estimated_influence": answer.estimated_influence,
+                    "theta": answer.theta,
+                    "elapsed_seconds": answer.stats.elapsed_seconds,
+                    "io_read_calls": answer.stats.io.read_calls,
+                    "rr_sets_loaded": answer.stats.rr_sets_loaded,
+                }
+            )
+        )
+    else:
+        print(f"seeds: {list(answer.seeds)}")
+        print(f"estimated targeted influence: {answer.estimated_influence:.3f}")
+        print(
+            f"cost: {answer.stats.elapsed_seconds * 1e3:.1f} ms, "
+            f"{answer.stats.io.read_calls} reads, "
+            f"{answer.stats.rr_sets_loaded} RR sets loaded"
+        )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    with _open_index(args.index) as index:
+        kind = "RR" if isinstance(index, RRIndex) else "IRR"
+        print(
+            f"{kind} index: |V|={index.n_vertices}, K={index.K}, "
+            f"epsilon={index.epsilon}, codec={index.codec.name}"
+        )
+        print(f"{'keyword':16} {'theta_w':>9} {'phi_w':>10} {'idf':>7}")
+        for name in index.keywords():
+            meta = index.catalog[name]
+            print(
+                f"{name:16} {meta.theta:9,} {meta.phi_w:10.3f} {meta.idf:7.3f}"
+            )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import harness, figures, tables
+
+    scale = (
+        harness.ExperimentScale.smoke()
+        if args.scale == "smoke"
+        else harness.ExperimentScale.default()
+    )
+    runners = {
+        "table2": tables.run_table2,
+        "table3": tables.run_table3,
+        "table4": tables.run_table4,
+        "table5": tables.run_table5,
+        "table6": tables.run_table6,
+        "table7": tables.run_table7,
+        "table8": tables.run_table8,
+        "figure4": figures.run_figure4,
+        "figure5": figures.run_figure5,
+        "figure6": figures.run_figure6,
+        "figure7": figures.run_figure7,
+    }
+    with harness.ExperimentContext(scale) as ctx:
+        table = runners[args.name](ctx)
+    print(table.render())
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.maintenance import verify_index
+
+    report = verify_index(args.index, deep=not args.shallow)
+    print(report)
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    from repro.core.maintenance import extract_keywords
+
+    keywords = [kw.strip() for kw in args.keywords.split(",") if kw.strip()]
+    extracted = extract_keywords(args.index, args.out, keywords)
+    print(f"extracted {len(extracted)} keywords into {args.out}: {extracted}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "build-index": _cmd_build_index,
+    "query": _cmd_query,
+    "inspect": _cmd_inspect,
+    "verify": _cmd_verify,
+    "extract": _cmd_extract,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,144 @@
+"""Greedy maximum coverage (step 2 of the RIS framework).
+
+Given a collection of RR sets, pick ``k`` vertices covering the maximum
+number of sets.  The classic greedy algorithm gives the ``(1 - 1/e)``
+factor that steps S3-S4 of the paper's proof sketch rely on.
+
+Two implementations with identical output:
+
+* :func:`greedy_max_coverage` — textbook argmax loop, O(k·n + total set
+  size); the reference implementation used in correctness tests;
+* :func:`lazy_greedy_max_coverage` — CELF-style heap with stale-entry
+  re-insertion; what the query paths call.
+
+Ties break towards the smallest vertex id in both, which makes the two
+bit-identical and makes Theorem 3 testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CoverageInstance", "greedy_max_coverage", "lazy_greedy_max_coverage"]
+
+
+class CoverageInstance:
+    """An in-memory maximum-coverage instance over RR sets.
+
+    Parameters
+    ----------
+    n_vertices:
+        Universe size (vertex ids must lie in ``[0, n_vertices)``).
+    rr_sets:
+        The sampled RR sets, each a sorted array of vertex ids.  The
+        instance builds the inverted mapping ``vertex -> set ids`` (the
+        paper's ``L``) eagerly.
+    """
+
+    def __init__(
+        self,
+        n_vertices: int,
+        rr_sets: Sequence[np.ndarray],
+        inverted: Optional[Dict[int, np.ndarray]] = None,
+    ) -> None:
+        if n_vertices < 0:
+            raise ValueError(f"n_vertices must be >= 0, got {n_vertices}")
+        self.n_vertices = n_vertices
+        self.rr_sets: List[np.ndarray] = [
+            np.asarray(rr, dtype=np.int64) for rr in rr_sets
+        ]
+        for set_id, rr in enumerate(self.rr_sets):
+            if len(rr) and (rr[0] < 0 or rr[-1] >= n_vertices):
+                raise ValueError(
+                    f"RR set {set_id} contains vertex outside [0, {n_vertices})"
+                )
+        if inverted is None:
+            built: Dict[int, List[int]] = {}
+            for set_id, rr in enumerate(self.rr_sets):
+                for v in rr:
+                    built.setdefault(int(v), []).append(set_id)
+            inverted = {
+                v: np.asarray(ids, dtype=np.int64) for v, ids in built.items()
+            }
+        self.inverted: Dict[int, np.ndarray] = inverted
+
+    @property
+    def n_sets(self) -> int:
+        """Number of RR sets in the instance."""
+        return len(self.rr_sets)
+
+    def counts(self) -> np.ndarray:
+        """Initial per-vertex coverage counts (length ``n_vertices``)."""
+        counts = np.zeros(self.n_vertices, dtype=np.int64)
+        for v, ids in self.inverted.items():
+            counts[v] = len(ids)
+        return counts
+
+
+def greedy_max_coverage(
+    instance: CoverageInstance, k: int
+) -> Tuple[List[int], List[int]]:
+    """Reference greedy: repeatedly pick the vertex covering most sets.
+
+    Returns ``(seeds, marginal_coverages)`` in pick order.  When fewer than
+    ``k`` vertices exist, all vertices are returned.  Zero-marginal picks
+    choose the smallest unselected vertex id (the argmax of an all-zero
+    count array), mirroring what Algorithm 2 degenerates to.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts = instance.counts()
+    covered = np.zeros(instance.n_sets, dtype=bool)
+    selected = np.zeros(instance.n_vertices, dtype=bool)
+
+    seeds: List[int] = []
+    marginals: List[int] = []
+    for _ in range(min(k, instance.n_vertices)):
+        masked = np.where(selected, -1, counts)
+        best = int(np.argmax(masked))  # argmax returns the first (smallest id)
+        seeds.append(best)
+        marginals.append(int(counts[best]))
+        selected[best] = True
+        for set_id in instance.inverted.get(best, ()):
+            if not covered[set_id]:
+                covered[set_id] = True
+                counts[instance.rr_sets[set_id]] -= 1
+    return seeds, marginals
+
+
+def lazy_greedy_max_coverage(
+    instance: CoverageInstance, k: int
+) -> Tuple[List[int], List[int]]:
+    """CELF-style greedy with lazy heap revalidation.
+
+    Coverage counts only decrease as sets become covered, so a popped heap
+    entry whose stored count still matches the live count is globally
+    maximal.  Output is bit-identical to :func:`greedy_max_coverage`.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counts = instance.counts()
+    covered = np.zeros(instance.n_sets, dtype=bool)
+    # Heap of (-count, vertex); Python's tuple order gives the
+    # smallest-vertex-id tie break for equal counts.
+    heap = [(-int(counts[v]), v) for v in range(instance.n_vertices)]
+    heapq.heapify(heap)
+
+    seeds: List[int] = []
+    marginals: List[int] = []
+    while heap and len(seeds) < k:
+        neg_count, v = heapq.heappop(heap)
+        current = int(counts[v])
+        if -neg_count != current:
+            heapq.heappush(heap, (-current, v))
+            continue
+        seeds.append(v)
+        marginals.append(current)
+        for set_id in instance.inverted.get(v, ()):
+            if not covered[set_id]:
+                covered[set_id] = True
+                counts[instance.rr_sets[set_id]] -= 1
+    return seeds, marginals

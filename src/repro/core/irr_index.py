@@ -1,0 +1,525 @@
+"""Incremental RR index (IRR): Algorithm 3 (build) and Algorithm 4 (query).
+
+**Build** (:class:`IRRIndexBuilder`): derived from the same per-keyword
+sample tables as the RR index.  Per keyword ``w`` (Figure 3):
+
+* ``IL_w`` — the inverted lists of ``L_w`` re-sorted by *descending list
+  length* (most influential users first) and split into partitions of
+  ``delta`` users (``IL^1_w, IL^2_w, ...``);
+* ``IR_w`` — matching RR-set partitions: ``IR^p_w`` holds the RR sets that
+  intersect ``IL^p_w`` and were not claimed by an earlier partition;
+* ``IP_w`` — each vertex's first occurrence (smallest RR-set id) in
+  ``R_w``, used at query time to decide that a vertex has an exactly-zero
+  partial score for a keyword (its first occurrence falls beyond the
+  ``θ^Q_w`` active prefix).
+
+**Query** (:meth:`IRRIndex.query`): NRA-style top-k aggregation
+(Fagin et al.), loading partitions incrementally.  A candidate's upper
+bound sums, per query keyword, either its exact active-uncovered count
+(list loaded) or the keyword's unseen bound ``kb[w]``.  Seeds are
+confirmed when the top candidate is COMPLETE and beats ``Σ_w kb[w]``.
+Score maintenance after a seed is confirmed uses the paper's *lazy
+evaluation strategy* (Section 5.2): covering a seed's RR sets only marks
+the affected users dirty (members come from the loaded ``IR`` partitions);
+a candidate's score is refined only when it surfaces at the top of the
+priority queue.
+
+Theorem 3 — the seed *scores* returned by Algorithm 4 equal Algorithm 2's —
+is enforced by the integration tests on shared sample tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.offline import KeywordTable
+from repro.core.query import KBTIMQuery
+from repro.core.results import QueryStats, SeedSelection
+from repro.core.rr_index import (
+    BuildReport,
+    KeywordMeta,
+    RRIndexBuilder,
+    build_keyword_meta,
+    plan_theta_q,
+)
+from repro.core.theta import ThetaPolicy
+from repro.errors import CorruptIndexError, IndexError_, QueryError
+from repro.profiles.store import ProfileStore
+from repro.propagation.base import PropagationModel
+from repro.storage.compression import Codec
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
+from repro.storage.records import InvertedListsRecord, RRSetsRecord
+from repro.storage.segments import SegmentReader, SegmentWriter
+from repro.utils.rng import RngLike
+
+__all__ = ["IRRIndexBuilder", "IRRIndex", "DEFAULT_PARTITION_SIZE"]
+
+_FORMAT = "irr-index"
+_FORMAT_VERSION = 1
+
+#: Paper setting: "the partition size δ is set to 100 for all experiments".
+DEFAULT_PARTITION_SIZE = 100
+
+
+class IRRIndexBuilder(RRIndexBuilder):
+    """Algorithm 3: build the partitioned incremental index.
+
+    Inherits the sampling machinery from :class:`RRIndexBuilder`; only the
+    on-disk layout differs.  ``delta`` is the partition size δ.
+    """
+
+    def __init__(self, *args, delta: int = DEFAULT_PARTITION_SIZE, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if delta < 1:
+            raise IndexError_(f"delta must be >= 1, got {delta}")
+        self.delta = delta
+
+    def build(
+        self,
+        path: str,
+        *,
+        keywords: Optional[Sequence] = None,
+        tables: Optional[Dict[str, KeywordTable]] = None,
+    ) -> BuildReport:
+        """Sample (unless ``tables`` given) and persist the IRR index."""
+        started = time.perf_counter()
+        if tables is None:
+            tables = self.sample(keywords)
+        return write_irr_index(
+            path,
+            tables,
+            n_vertices=self.model.graph.n,
+            policy=self.policy,
+            codec=self.codec,
+            delta=self.delta,
+            started=started,
+        )
+
+
+def partition_keyword(
+    rr_sets: Sequence[np.ndarray], delta: int
+) -> Tuple[
+    List[List[Tuple[int, np.ndarray]]],
+    List[List[int]],
+    List[Tuple[int, int]],
+]:
+    """Algorithm 3 lines 5-14 for one keyword.
+
+    Returns ``(il_partitions, ir_partitions, ip_entries)``:
+
+    * ``il_partitions[p]`` — the partition's ``(vertex, rr ids)`` lists in
+      descending length order (ties: smaller vertex first);
+    * ``ir_partitions[p]`` — RR-set ids assigned to partition ``p``;
+    * ``ip_entries`` — ``(vertex, first occurrence)`` sorted by vertex.
+    """
+    inverted: Dict[int, List[int]] = {}
+    for set_id, rr in enumerate(rr_sets):
+        for v in rr:
+            inverted.setdefault(int(v), []).append(set_id)
+    lists = [
+        (v, np.asarray(ids, dtype=np.int64)) for v, ids in inverted.items()
+    ]
+    # Descending length; vertex id breaks ties deterministically.
+    lists.sort(key=lambda item: (-len(item[1]), item[0]))
+
+    il_partitions: List[List[Tuple[int, np.ndarray]]] = []
+    ir_partitions: List[List[int]] = []
+    claimed = np.zeros(len(rr_sets), dtype=bool)
+    for start in range(0, len(lists), delta):
+        block = lists[start : start + delta]
+        il_partitions.append(block)
+        members: List[int] = []
+        for _v, ids in block:
+            for set_id in ids:
+                if not claimed[set_id]:
+                    claimed[set_id] = True
+                    members.append(int(set_id))
+        members.sort()
+        ir_partitions.append(members)
+
+    ip_entries = sorted(
+        (v, int(ids[0])) for v, ids in inverted.items()
+    )
+    return il_partitions, ir_partitions, ip_entries
+
+
+def write_irr_index(
+    path: str,
+    tables: Dict[str, KeywordTable],
+    *,
+    n_vertices: int,
+    policy: ThetaPolicy,
+    codec: Codec,
+    delta: int,
+    started: Optional[float] = None,
+) -> BuildReport:
+    """Serialise sample tables in the IRR layout (Figure 3)."""
+    if started is None:
+        started = time.perf_counter()
+    total_sets = 0
+    total_size = 0
+    meta = {
+        "format": _FORMAT,
+        "version": _FORMAT_VERSION,
+        "n_vertices": n_vertices,
+        "epsilon": policy.epsilon,
+        "K": policy.K,
+        "codec": codec.value,
+        "delta": delta,
+        "keywords": {},
+    }
+    with SegmentWriter(path) as writer:
+        payload_segments: List[Tuple[str, bytes]] = []
+        for name in sorted(tables):
+            table = tables[name]
+            il_parts, ir_parts, ip_entries = partition_keyword(
+                table.rr_sets, delta
+            )
+            first_lens = [
+                len(part[0][1]) if part else 0 for part in il_parts
+            ]
+            meta["keywords"][name] = {
+                "topic_id": table.topic_id,
+                "theta": table.theta,
+                "tf_sum": table.tf_sum,
+                "idf": table.idf,
+                "phi_w": table.phi_w,
+                "n_sets": len(table.rr_sets),
+                "n_partitions": len(il_parts),
+                "partition_first_lens": first_lens,
+                "partition_set_counts": [len(p) for p in ir_parts],
+            }
+            total_sets += len(table.rr_sets)
+            total_size += sum(len(rr) for rr in table.rr_sets)
+
+            payload_segments.append(
+                (
+                    f"ip/{name}",
+                    InvertedListsRecord.encode(
+                        [
+                            (v, np.asarray([first], dtype=np.int64))
+                            for v, first in ip_entries
+                        ],
+                        codec,
+                    ),
+                )
+            )
+            for p, block in enumerate(il_parts):
+                payload_segments.append(
+                    (f"il/{name}/{p}", InvertedListsRecord.encode(block, codec))
+                )
+            for p, members in enumerate(ir_parts):
+                payload_segments.append(
+                    (
+                        f"ir/{name}/{p}",
+                        InvertedListsRecord.encode(
+                            [
+                                (set_id, tables[name].rr_sets[set_id])
+                                for set_id in members
+                            ],
+                            codec,
+                        ),
+                    )
+                )
+        writer.add("meta", json.dumps(meta).encode("utf-8"))
+        for segment_name, payload in payload_segments:
+            writer.add(segment_name, payload)
+
+    return BuildReport(
+        path=path,
+        seconds=time.perf_counter() - started,
+        file_bytes=os.path.getsize(path),
+        theta_total=total_sets,
+        mean_rr_set_size=(total_size / total_sets) if total_sets else 0.0,
+        keywords=tuple(sorted(tables)),
+    )
+
+
+@dataclass
+class _KeywordState:
+    """Per-query, per-keyword NRA state."""
+
+    meta: KeywordMeta
+    active_count: int  # θ^Q_w: only RR-set ids below this are live
+    n_partitions: int
+    partition_first_lens: List[int]
+    first_occurrence: Dict[int, int]  # IP_w
+    next_partition: int = 0
+    loaded_lists: Dict[int, np.ndarray] = None  # vertex -> active rr ids
+    covered: Set[int] = None
+    members: Dict[int, np.ndarray] = None  # rr id -> member vertices
+
+    def __post_init__(self) -> None:
+        self.loaded_lists = {}
+        self.covered = set()
+        self.members = {}
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every partition of this keyword has been loaded."""
+        return self.next_partition >= self.n_partitions
+
+    @property
+    def kb(self) -> int:
+        """Upper bound on any unseen user's active count for this keyword."""
+        if self.exhausted:
+            return 0
+        return min(
+            self.partition_first_lens[self.next_partition], self.active_count
+        )
+
+    def exact_count(self, vertex: int) -> Optional[int]:
+        """Active-and-uncovered count, or ``None`` when not yet loaded.
+
+        A vertex whose first occurrence lies beyond the active prefix (or
+        that never occurs at all) is exactly 0 without any load — the IP
+        check of Section 5.2.
+        """
+        ids = self.loaded_lists.get(vertex)
+        if ids is not None:
+            if not self.covered:
+                return len(ids)
+            return sum(1 for set_id in ids if int(set_id) not in self.covered)
+        first = self.first_occurrence.get(vertex)
+        if first is None or first >= self.active_count:
+            return 0
+        return None
+
+
+class IRRIndex:
+    """Query-time reader for the IRR index (Algorithm 4)."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        stats: Optional[IOStats] = None,
+        pool: Optional[BufferPool] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self._reader = SegmentReader(
+            path, stats=self.stats, pool=pool, page_size=page_size
+        )
+        meta = json.loads(self._reader.read("meta").decode("utf-8"))
+        if meta.get("format") != _FORMAT:
+            raise CorruptIndexError(
+                f"{path}: not an IRR index (format={meta.get('format')!r})"
+            )
+        self.n_vertices = int(meta["n_vertices"])
+        self.epsilon = float(meta["epsilon"])
+        self.K = int(meta["K"])
+        self.codec = Codec(int(meta["codec"]))
+        self.delta = int(meta["delta"])
+        self.catalog: Dict[str, KeywordMeta] = {}
+        self._partition_info: Dict[str, Tuple[int, List[int]]] = {}
+        for name, entry in meta["keywords"].items():
+            self.catalog[name] = KeywordMeta(
+                name=name,
+                topic_id=int(entry["topic_id"]),
+                theta=int(entry["theta"]),
+                tf_sum=float(entry["tf_sum"]),
+                idf=float(entry["idf"]),
+                phi_w=float(entry["phi_w"]),
+                n_sets=int(entry["n_sets"]),
+            )
+            self._partition_info[name] = (
+                int(entry["n_partitions"]),
+                [int(x) for x in entry["partition_first_lens"]],
+            )
+
+    # ------------------------------------------------------------------
+    def keywords(self) -> List[str]:
+        """Indexed keyword names (sorted)."""
+        return sorted(self.catalog)
+
+    def _load_ip(self, keyword: str) -> Dict[int, int]:
+        """Load the first-occurrence map ``IP_w`` (one read)."""
+        entries = InvertedListsRecord.decode(self._reader.read(f"ip/{keyword}"))
+        return {vertex: int(ids[0]) for vertex, ids in entries}
+
+    # ------------------------------------------------------------------
+    def query(self, query: KBTIMQuery) -> SeedSelection:
+        """Algorithm 4: incremental NRA top-k aggregation."""
+        if query.k > self.K:
+            raise QueryError(
+                f"Q.k ({query.k}) exceeds the index's system parameter K ({self.K})"
+            )
+        started = time.perf_counter()
+        before = self.stats.snapshot()
+        keywords = [self._resolve(kw) for kw in query.keywords]
+        _theta_q, counts, phi_q = plan_theta_q(keywords, self.catalog)
+
+        states: Dict[str, _KeywordState] = {}
+        for kw in keywords:
+            n_partitions, first_lens = self._partition_info[kw]
+            states[kw] = _KeywordState(
+                meta=self.catalog[kw],
+                active_count=counts[kw],
+                n_partitions=n_partitions,
+                partition_first_lens=first_lens,
+                first_occurrence=self._load_ip(kw),
+            )
+
+        rr_sets_loaded = 0
+        partitions_loaded = 0
+        pq: List[Tuple[int, int]] = []  # (-upper_bound, vertex)
+        enqueued: Set[int] = set()
+        selected: Set[int] = set()
+        dirty: Set[int] = set()
+        seeds: List[int] = []
+        marginals: List[int] = []
+
+        def upper_bound(vertex: int) -> Tuple[int, bool]:
+            """Current bound and COMPLETE status for ``vertex``."""
+            total = 0
+            complete = True
+            for kw in keywords:
+                state = states[kw]
+                exact = state.exact_count(vertex)
+                if exact is None:
+                    total += state.kb
+                    complete = False
+                else:
+                    total += exact
+            return total, complete
+
+        def load_next_partitions() -> bool:
+            """Algorithm 4 lines 23-30: one more partition per keyword."""
+            nonlocal rr_sets_loaded, partitions_loaded
+            any_loaded = False
+            for kw in keywords:
+                state = states[kw]
+                if state.exhausted:
+                    continue
+                p = state.next_partition
+                il = InvertedListsRecord.decode(
+                    self._reader.read(f"il/{kw}/{p}")
+                )
+                ir = InvertedListsRecord.decode(
+                    self._reader.read(f"ir/{kw}/{p}")
+                )
+                partitions_loaded += 1
+                for set_id, member_vertices in ir:
+                    set_id = int(set_id)
+                    state.members[set_id] = member_vertices
+                    # Count only *active* sets (id < θ^Q_w) so the metric
+                    # is comparable with the RR index's prefix count; the
+                    # partition also carries sets beyond the active prefix
+                    # whose bytes show up in the I/O stats instead.
+                    if set_id < state.active_count:
+                        rr_sets_loaded += 1
+                state.next_partition += 1
+                for vertex, set_ids in il:
+                    active = set_ids[
+                        : np.searchsorted(set_ids, state.active_count)
+                    ]
+                    state.loaded_lists[vertex] = active
+                    if vertex not in selected and vertex not in enqueued:
+                        bound, _complete = upper_bound(vertex)
+                        heapq.heappush(pq, (-bound, vertex))
+                        enqueued.add(vertex)
+                    else:
+                        # Known candidate gained an exact partial score;
+                        # lazy revalidation will refresh it at the top.
+                        dirty.add(vertex)
+                any_loaded = True
+            return any_loaded
+
+        unseen_bound = lambda: sum(states[kw].kb for kw in keywords)
+
+        while len(seeds) < query.k:
+            if not pq:
+                if load_next_partitions():
+                    continue
+                # Everything is loaded and no candidate carries a positive
+                # score: the greedy degenerates to zero-marginal picks.
+                filler = 0
+                while len(seeds) < query.k and filler < self.n_vertices:
+                    if filler not in selected:
+                        seeds.append(filler)
+                        marginals.append(0)
+                        selected.add(filler)
+                    filler += 1
+                break
+
+            neg_bound, vertex = pq[0]
+            if vertex in selected:
+                heapq.heappop(pq)
+                continue
+            bound = -neg_bound
+            current, complete = upper_bound(vertex)
+            if current != bound:
+                # Stale entry (lazy evaluation): refresh in place.
+                heapq.heapreplace(pq, (-current, vertex))
+                dirty.discard(vertex)
+                continue
+            dirty.discard(vertex)
+            if complete and current >= unseen_bound():
+                heapq.heappop(pq)
+                seeds.append(vertex)
+                marginals.append(current)
+                selected.add(vertex)
+                # Mark this seed's active RR sets covered and dirty the
+                # affected candidates (lines 17-22).
+                for kw in keywords:
+                    state = states[kw]
+                    ids = state.loaded_lists.get(vertex)
+                    if ids is None:
+                        continue
+                    for set_id in ids:
+                        set_id = int(set_id)
+                        if set_id in state.covered:
+                            continue
+                        state.covered.add(set_id)
+                        members = state.members.get(set_id)
+                        if members is not None:
+                            dirty.update(int(u) for u in members)
+            else:
+                if not load_next_partitions():
+                    raise IndexError_(
+                        "IRR query stalled: no partitions left but the top "
+                        "candidate is incomplete — index is inconsistent"
+                    )
+
+        stats = QueryStats(
+            elapsed_seconds=time.perf_counter() - started,
+            rr_sets_considered=sum(counts.values()),
+            rr_sets_loaded=rr_sets_loaded,
+            partitions_loaded=partitions_loaded,
+            io=self.stats.delta(before),
+        )
+        return SeedSelection(
+            seeds=tuple(seeds),
+            marginal_coverages=tuple(marginals),
+            theta=sum(counts.values()),
+            phi_q=phi_q,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve(self, keyword) -> str:
+        if isinstance(keyword, str):
+            return keyword
+        for name, meta in self.catalog.items():
+            if meta.topic_id == keyword:
+                return name
+        raise IndexError_(f"topic id {keyword!r} is not in the index")
+
+    def close(self) -> None:
+        """Release the underlying file."""
+        self._reader.close()
+
+    def __enter__(self) -> "IRRIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,221 @@
+"""Index maintenance utilities.
+
+Operational tooling around the on-disk indexes that a deployment needs
+but the paper leaves implicit:
+
+* :func:`extract_keywords` — carve a keyword subset out of an RR index
+  into a new, smaller index file (e.g. ship one advertiser only the
+  verticals they bid on).  Pure file-level surgery: RR sets and inverted
+  lists are copied byte-for-byte; only the catalog shrinks.
+* :func:`verify_index` — full-file integrity check: every segment's CRC,
+  catalog/segment cross-references, and per-keyword record consistency
+  (set counts, inverted-list agreement).  The deep check re-derives the
+  inverted mapping from the RR sets and compares.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CorruptIndexError, IndexError_
+from repro.storage.records import InvertedListsRecord, RRSetsRecord
+from repro.storage.segments import SegmentReader, SegmentWriter
+
+__all__ = ["extract_keywords", "verify_index", "IndexCheckReport"]
+
+
+def extract_keywords(
+    source_path: str, target_path: str, keywords: Sequence[str]
+) -> List[str]:
+    """Copy a keyword subset of an RR index into a new index file.
+
+    Returns the extracted keyword names.  Raises
+    :class:`~repro.errors.IndexError_` when a requested keyword is not in
+    the source index, and :class:`~repro.errors.CorruptIndexError` for a
+    non-RR source file.
+    """
+    keywords = list(dict.fromkeys(keywords))  # stable de-dup
+    if not keywords:
+        raise IndexError_("extract_keywords needs at least one keyword")
+    with SegmentReader(source_path) as reader:
+        meta = json.loads(reader.read("meta").decode("utf-8"))
+        if meta.get("format") != "rr-index":
+            raise CorruptIndexError(
+                f"{source_path}: keyword extraction supports RR indexes, "
+                f"found format={meta.get('format')!r}"
+            )
+        missing = [kw for kw in keywords if kw not in meta["keywords"]]
+        if missing:
+            raise IndexError_(f"keywords not in index: {missing}")
+
+        new_meta = dict(meta)
+        new_meta["keywords"] = {kw: meta["keywords"][kw] for kw in keywords}
+        with SegmentWriter(target_path) as writer:
+            writer.add("meta", json.dumps(new_meta).encode("utf-8"))
+            for kw in sorted(keywords):
+                writer.add(f"rr/{kw}", reader.read(f"rr/{kw}"))
+                writer.add(f"inv/{kw}", reader.read(f"inv/{kw}"))
+    return keywords
+
+
+@dataclass(frozen=True)
+class IndexCheckReport:
+    """Result of :func:`verify_index`."""
+
+    path: str
+    format: str
+    keywords_checked: int
+    segments_checked: int
+    rr_sets_checked: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}: {self.format} OK — {self.keywords_checked} keywords, "
+            f"{self.segments_checked} segments, {self.rr_sets_checked:,} RR sets"
+        )
+
+
+def verify_index(path: str, *, deep: bool = True) -> IndexCheckReport:
+    """Verify an index file end to end.
+
+    Shallow checks (always): segment CRCs, catalog completeness, record
+    headers.  Deep checks (``deep=True``): decode every RR set, rebuild
+    the inverted mapping and compare with the stored ``L_w`` / ``IL_w``.
+
+    Raises :class:`~repro.errors.CorruptIndexError` on the first
+    inconsistency; returns a summary report on success.
+    """
+    with SegmentReader(path) as reader:
+        meta = json.loads(reader.read("meta").decode("utf-8"))
+        fmt = meta.get("format")
+        if fmt not in ("rr-index", "irr-index"):
+            raise CorruptIndexError(f"{path}: unknown index format {fmt!r}")
+        segments = set(reader.names())
+        rr_sets_checked = 0
+
+        for kw, entry in sorted(meta["keywords"].items()):
+            n_sets = int(entry["n_sets"])
+            if fmt == "rr-index":
+                rr_sets_checked += _verify_rr_keyword(
+                    path, reader, segments, kw, n_sets, deep
+                )
+            else:
+                rr_sets_checked += _verify_irr_keyword(
+                    path, reader, segments, kw, entry, deep
+                )
+        return IndexCheckReport(
+            path=path,
+            format=fmt,
+            keywords_checked=len(meta["keywords"]),
+            segments_checked=len(segments),
+            rr_sets_checked=rr_sets_checked,
+        )
+
+
+def _verify_rr_keyword(
+    path: str,
+    reader: SegmentReader,
+    segments: set,
+    kw: str,
+    n_sets: int,
+    deep: bool,
+) -> int:
+    for name in (f"rr/{kw}", f"inv/{kw}"):
+        if name not in segments:
+            raise CorruptIndexError(f"{path}: missing segment {name!r}")
+    record = reader.read(f"rr/{kw}")  # CRC-checked
+    header_sets, _g, _len, _start = RRSetsRecord.read_header(record)
+    if header_sets != n_sets:
+        raise CorruptIndexError(
+            f"{path}: keyword {kw!r} catalog says {n_sets} sets, "
+            f"record header says {header_sets}"
+        )
+    if not deep:
+        reader.read(f"inv/{kw}")
+        return 0
+    rr_sets = RRSetsRecord.decode_all(record)
+    rebuilt: Dict[int, List[int]] = {}
+    for set_id, rr in enumerate(rr_sets):
+        for v in rr:
+            rebuilt.setdefault(int(v), []).append(set_id)
+    stored = InvertedListsRecord.decode(reader.read(f"inv/{kw}"))
+    if len(stored) != len(rebuilt):
+        raise CorruptIndexError(
+            f"{path}: keyword {kw!r} inverted list count mismatch"
+        )
+    for vertex, ids in stored:
+        if rebuilt.get(vertex, []) != ids.tolist():
+            raise CorruptIndexError(
+                f"{path}: keyword {kw!r} inverted list of vertex {vertex} "
+                "disagrees with RR sets"
+            )
+    return len(rr_sets)
+
+
+def _verify_irr_keyword(
+    path: str,
+    reader: SegmentReader,
+    segments: set,
+    kw: str,
+    entry: dict,
+    deep: bool,
+) -> int:
+    n_partitions = int(entry["n_partitions"])
+    if f"ip/{kw}" not in segments:
+        raise CorruptIndexError(f"{path}: missing segment ip/{kw}")
+    for p in range(n_partitions):
+        for name in (f"il/{kw}/{p}", f"ir/{kw}/{p}"):
+            if name not in segments:
+                raise CorruptIndexError(f"{path}: missing segment {name!r}")
+    if not deep:
+        reader.read(f"ip/{kw}")
+        return 0
+
+    # Rebuild the global picture from partitions and cross-check IP and
+    # the per-partition sort/claim invariants.
+    seen_sets: Dict[int, np.ndarray] = {}
+    first_occurrence: Dict[int, int] = {}
+    previous_first_len = None
+    total = 0
+    for p in range(n_partitions):
+        il = InvertedListsRecord.decode(reader.read(f"il/{kw}/{p}"))
+        ir = InvertedListsRecord.decode(reader.read(f"ir/{kw}/{p}"))
+        lengths = [len(ids) for _v, ids in il]
+        if lengths != sorted(lengths, reverse=True):
+            raise CorruptIndexError(
+                f"{path}: il/{kw}/{p} lists are not length-sorted"
+            )
+        if lengths:
+            if previous_first_len is not None and lengths[0] > previous_first_len:
+                raise CorruptIndexError(
+                    f"{path}: il/{kw}/{p} breaks the global length order"
+                )
+            previous_first_len = lengths[-1]
+        for vertex, ids in il:
+            if len(ids):
+                first_occurrence.setdefault(vertex, int(ids[0]))
+        for set_id, members in ir:
+            if set_id in seen_sets:
+                raise CorruptIndexError(
+                    f"{path}: RR set {set_id} of {kw!r} claimed twice"
+                )
+            seen_sets[int(set_id)] = members
+        total += len(ir)
+    if total != int(entry["n_sets"]):
+        raise CorruptIndexError(
+            f"{path}: keyword {kw!r} partitions hold {total} sets, "
+            f"catalog says {entry['n_sets']}"
+        )
+    ip = {
+        vertex: int(ids[0])
+        for vertex, ids in InvertedListsRecord.decode(reader.read(f"ip/{kw}"))
+    }
+    if ip != first_occurrence:
+        raise CorruptIndexError(
+            f"{path}: keyword {kw!r} IP map disagrees with partitions"
+        )
+    return total

@@ -1,0 +1,61 @@
+"""KB-TIM query type (Definition 3).
+
+A query is the pair ``(Q.T, Q.k)``: an advertisement keyword set and a seed
+budget.  Keywords may be topic names or ids; they are resolved against a
+:class:`~repro.profiles.TopicSpace` at execution time so queries can be
+constructed without holding a reference to the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple, Union
+
+from repro.errors import QueryError
+
+__all__ = ["KBTIMQuery"]
+
+KeywordRef = Union[int, str]
+
+
+@dataclass(frozen=True)
+class KBTIMQuery:
+    """A Keyword-Based Targeted Influence Maximization query.
+
+    Attributes
+    ----------
+    keywords:
+        The advertisement keyword set ``Q.T`` (non-empty, no duplicates).
+    k:
+        The seed budget ``Q.k`` (>= 1).
+    """
+
+    keywords: Tuple[KeywordRef, ...]
+    k: int
+
+    def __init__(self, keywords: Sequence[KeywordRef], k: int) -> None:
+        keywords = tuple(keywords)
+        if not keywords:
+            raise QueryError("query keyword set must be non-empty")
+        if len(set(keywords)) != len(keywords):
+            raise QueryError(f"duplicate keywords in query: {keywords}")
+        for kw in keywords:
+            if not isinstance(kw, (int, str)) or isinstance(kw, bool):
+                raise QueryError(
+                    f"keywords must be topic ids or names, got {kw!r}"
+                )
+        if isinstance(k, bool) or not isinstance(k, int):
+            raise QueryError(f"k must be an int, got {type(k).__name__}")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        object.__setattr__(self, "keywords", keywords)
+        object.__setattr__(self, "k", k)
+
+    @property
+    def n_keywords(self) -> int:
+        """``|Q.T|`` — the query length axis of Figure 6."""
+        return len(self.keywords)
+
+    def __repr__(self) -> str:
+        kw = ", ".join(repr(kw) for kw in self.keywords)
+        return f"KBTIMQuery(keywords=({kw}), k={self.k})"

@@ -1,0 +1,409 @@
+"""Disk-based RR index: Algorithm 1 (build) and Algorithm 2 (query).
+
+**Build** (:class:`RRIndexBuilder`): for each keyword ``w``, persist the
+θ_w discriminatively-sampled RR sets ``R_w`` plus their inverted mapping
+``L_w`` (vertex → RR-set ids), as in Figure 2 of the paper.  Layout inside
+the segment container:
+
+* ``meta`` — JSON catalog: per-keyword θ_w, ``Σ tf``, ``idf``, ``φ_w``;
+* ``rr/<keyword>`` — :class:`~repro.storage.records.RRSetsRecord` with a
+  group offset table enabling bounded prefix reads;
+* ``inv/<keyword>`` — :class:`~repro.storage.records.InvertedListsRecord`
+  keyed by vertex, ascending.
+
+**Query** (:meth:`RRIndex.query`): compute ``θ^Q = min_w θ_w / p_w``
+(Eqn. 11), load the first ``θ^Q · p_w`` RR sets of each query keyword
+(a bounded *prefix* read thanks to the offset table) together with the
+full inverted lists, and run greedy maximum coverage for ``Q.k`` seeds —
+Algorithm 2 verbatim.  The index never touches the profile store at query
+time: everything the planner needs lives in the catalog.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
+from repro.core.offline import KeywordTable, sample_keyword_tables
+from repro.core.query import KBTIMQuery
+from repro.core.results import QueryStats, SeedSelection
+from repro.core.theta import ThetaPolicy
+from repro.errors import CorruptIndexError, IndexError_, QueryError
+from repro.profiles.store import ProfileStore
+from repro.propagation.base import PropagationModel
+from repro.storage.compression import Codec
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
+from repro.storage.records import InvertedListsRecord, RRSetsRecord
+from repro.storage.segments import SegmentReader, SegmentWriter
+from repro.utils.rng import RngLike
+
+__all__ = ["KeywordMeta", "BuildReport", "RRIndexBuilder", "RRIndex"]
+
+_FORMAT = "rr-index"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class KeywordMeta:
+    """Catalog entry for one indexed keyword."""
+
+    name: str
+    topic_id: int
+    theta: int
+    tf_sum: float
+    idf: float
+    phi_w: float
+    n_sets: int
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """What Algorithm 1 produced — the raw material of Tables 3-5."""
+
+    path: str
+    seconds: float
+    file_bytes: int
+    theta_total: int
+    mean_rr_set_size: float
+    keywords: Tuple[str, ...]
+
+
+def build_keyword_meta(tables: Dict[str, KeywordTable]) -> Dict[str, KeywordMeta]:
+    """Catalog entries from sample tables (shared with the IRR builder)."""
+    return {
+        name: KeywordMeta(
+            name=table.name,
+            topic_id=table.topic_id,
+            theta=table.theta,
+            tf_sum=table.tf_sum,
+            idf=table.idf,
+            phi_w=table.phi_w,
+            n_sets=len(table.rr_sets),
+        )
+        for name, table in tables.items()
+    }
+
+
+def plan_theta_q(
+    keywords: Sequence[str], catalog: Dict[str, KeywordMeta]
+) -> Tuple[float, Dict[str, int], float]:
+    """Eqn. 11 planning shared by Algorithm 2 and Algorithm 4.
+
+    Returns ``(theta_q, per_keyword_counts, phi_q)`` where
+    ``per_keyword_counts[w] = θ^Q_w`` is the number of RR sets to activate
+    for keyword ``w`` (``θ^Q · p_w``, clamped into ``[1, θ_w]``).
+    """
+    metas = []
+    for kw in keywords:
+        meta = catalog.get(kw)
+        if meta is None:
+            raise IndexError_(f"keyword {kw!r} is not in the index")
+        metas.append(meta)
+    phi_q = sum(m.phi_w for m in metas)
+    if phi_q <= 0:
+        raise QueryError("query keywords carry no relevance mass")
+    theta_q = min(m.theta / (m.phi_w / phi_q) for m in metas)
+    counts: Dict[str, int] = {}
+    for m in metas:
+        p_w = m.phi_w / phi_q
+        count = int(math.floor(theta_q * p_w + 1e-9))
+        counts[m.name] = max(1, min(m.n_sets, count))
+    return theta_q, counts, phi_q
+
+
+class RRIndexBuilder:
+    """Algorithm 1: offline discriminative sampling into an on-disk index."""
+
+    def __init__(
+        self,
+        model: PropagationModel,
+        profiles: ProfileStore,
+        *,
+        policy: Optional[ThetaPolicy] = None,
+        codec: Codec = Codec.PFOR,
+        use_theta_hat: bool = False,
+        pilot_theta: int = 128,
+        pilot_rounds: int = 2,
+        workers: int = 1,
+        rng: RngLike = None,
+    ) -> None:
+        self.model = model
+        self.profiles = profiles
+        self.policy = policy if policy is not None else ThetaPolicy()
+        self.codec = codec
+        self.use_theta_hat = use_theta_hat
+        self.pilot_theta = pilot_theta
+        self.pilot_rounds = pilot_rounds
+        self.workers = workers
+        self.rng = rng
+
+    def sample(self, keywords: Optional[Sequence] = None) -> Dict[str, KeywordTable]:
+        """Run the sampling pass only (reusable across index variants).
+
+        Honours ``workers`` (the paper builds with 8 threads); any worker
+        count yields bit-identical tables thanks to per-keyword seeding.
+        """
+        return sample_keyword_tables(
+            self.model,
+            self.profiles,
+            keywords=keywords,
+            policy=self.policy,
+            use_theta_hat=self.use_theta_hat,
+            pilot_theta=self.pilot_theta,
+            pilot_rounds=self.pilot_rounds,
+            workers=self.workers,
+            rng=self.rng,
+        )
+
+    def build(
+        self,
+        path: str,
+        *,
+        keywords: Optional[Sequence] = None,
+        tables: Optional[Dict[str, KeywordTable]] = None,
+    ) -> BuildReport:
+        """Sample (unless ``tables`` given) and persist the RR index."""
+        started = time.perf_counter()
+        if tables is None:
+            tables = self.sample(keywords)
+        return write_rr_index(
+            path,
+            tables,
+            n_vertices=self.model.graph.n,
+            policy=self.policy,
+            codec=self.codec,
+            started=started,
+        )
+
+
+def write_rr_index(
+    path: str,
+    tables: Dict[str, KeywordTable],
+    *,
+    n_vertices: int,
+    policy: ThetaPolicy,
+    codec: Codec,
+    started: Optional[float] = None,
+) -> BuildReport:
+    """Serialise sample tables in the RR layout (Figure 2)."""
+    if started is None:
+        started = time.perf_counter()
+    writer = SegmentWriter(path)
+    total_sets = 0
+    total_size = 0
+    with writer:
+        meta = {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "n_vertices": n_vertices,
+            "epsilon": policy.epsilon,
+            "K": policy.K,
+            "codec": codec.value,
+            "keywords": {},
+        }
+        for name in sorted(tables):
+            table = tables[name]
+            meta["keywords"][name] = {
+                "topic_id": table.topic_id,
+                "theta": table.theta,
+                "tf_sum": table.tf_sum,
+                "idf": table.idf,
+                "phi_w": table.phi_w,
+                "n_sets": len(table.rr_sets),
+            }
+            total_sets += len(table.rr_sets)
+            total_size += sum(len(rr) for rr in table.rr_sets)
+        writer.add("meta", json.dumps(meta).encode("utf-8"))
+        for name in sorted(tables):
+            table = tables[name]
+            writer.add(f"rr/{name}", RRSetsRecord.encode(table.rr_sets, codec))
+            writer.add(
+                f"inv/{name}",
+                InvertedListsRecord.encode(_invert(table.rr_sets), codec),
+            )
+
+    return BuildReport(
+        path=path,
+        seconds=time.perf_counter() - started,
+        file_bytes=os.path.getsize(path),
+        theta_total=total_sets,
+        mean_rr_set_size=(total_size / total_sets) if total_sets else 0.0,
+        keywords=tuple(sorted(tables)),
+    )
+
+
+def _invert(rr_sets: Sequence[np.ndarray]) -> List[Tuple[int, np.ndarray]]:
+    """Vertex → ascending RR-set ids (the ``L_w`` of Figure 2)."""
+    inverted: Dict[int, List[int]] = {}
+    for set_id, rr in enumerate(rr_sets):
+        for v in rr:
+            inverted.setdefault(int(v), []).append(set_id)
+    return [
+        (v, np.asarray(ids, dtype=np.int64)) for v, ids in sorted(inverted.items())
+    ]
+
+
+class RRIndex:
+    """Query-time reader for the RR index (Algorithm 2).
+
+    Opening the index loads the catalog (meta JSON and per-keyword record
+    headers) into memory, as a database would its system catalog; query
+    processing then issues two bounded reads per query keyword — the
+    ``θ^Q·p_w`` RR-set prefix and the full inverted-list region.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        stats: Optional[IOStats] = None,
+        pool: Optional[BufferPool] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self._reader = SegmentReader(
+            path, stats=self.stats, pool=pool, page_size=page_size
+        )
+        meta = json.loads(self._reader.read("meta").decode("utf-8"))
+        if meta.get("format") != _FORMAT:
+            raise CorruptIndexError(
+                f"{path}: not an RR index (format={meta.get('format')!r})"
+            )
+        self.n_vertices = int(meta["n_vertices"])
+        self.epsilon = float(meta["epsilon"])
+        self.K = int(meta["K"])
+        self.codec = Codec(int(meta["codec"]))
+        self.catalog: Dict[str, KeywordMeta] = {
+            name: KeywordMeta(
+                name=name,
+                topic_id=int(entry["topic_id"]),
+                theta=int(entry["theta"]),
+                tf_sum=float(entry["tf_sum"]),
+                idf=float(entry["idf"]),
+                phi_w=float(entry["phi_w"]),
+                n_sets=int(entry["n_sets"]),
+            )
+            for name, entry in meta["keywords"].items()
+        }
+        # Record headers + group offset tables, loaded once at open.
+        self._headers: Dict[str, Tuple[int, int, int, int, np.ndarray]] = {}
+        for name in self.catalog:
+            segment = f"rr/{name}"
+            prefix = self._reader.read_range(segment, 0, RRSetsRecord.HEADER_SIZE)
+            n_sets, group_size, payload_len, payload_start = RRSetsRecord.read_header(
+                prefix
+            )
+            table_start, table_len = RRSetsRecord.offset_table_range(prefix)
+            offsets = RRSetsRecord.decode_offsets(
+                self._reader.read_range(segment, table_start, table_len)
+            )
+            self._headers[name] = (
+                n_sets,
+                group_size,
+                payload_len,
+                payload_start,
+                offsets,
+            )
+
+    # ------------------------------------------------------------------
+    def keywords(self) -> List[str]:
+        """Indexed keyword names (sorted)."""
+        return sorted(self.catalog)
+
+    def load_rr_prefix(self, keyword: str, count: int) -> List[np.ndarray]:
+        """Load the first ``count`` RR sets of ``keyword`` (bounded read)."""
+        meta = self.catalog.get(keyword)
+        if meta is None:
+            raise IndexError_(f"keyword {keyword!r} is not in the index")
+        if count > meta.n_sets:
+            raise IndexError_(
+                f"requested {count} RR sets but {keyword!r} stores {meta.n_sets}"
+            )
+        n_sets, group_size, payload_len, payload_start, offsets = self._headers[
+            keyword
+        ]
+        end = RRSetsRecord.prefix_payload_end(offsets, payload_len, group_size, count)
+        payload = self._reader.read_range(f"rr/{keyword}", payload_start, end)
+        return RRSetsRecord.decode_prefix(payload, count)
+
+    def load_inverted_lists(self, keyword: str) -> List[Tuple[int, np.ndarray]]:
+        """Load the full ``L_w`` region of one keyword (one read)."""
+        if keyword not in self.catalog:
+            raise IndexError_(f"keyword {keyword!r} is not in the index")
+        return InvertedListsRecord.decode(self._reader.read(f"inv/{keyword}"))
+
+    # ------------------------------------------------------------------
+    def query(self, query: KBTIMQuery) -> SeedSelection:
+        """Algorithm 2: plan θ^Q, load prefixes, greedy maximum coverage."""
+        if query.k > self.K:
+            raise QueryError(
+                f"Q.k ({query.k}) exceeds the index's system parameter K ({self.K})"
+            )
+        started = time.perf_counter()
+        before = self.stats.snapshot()
+        keywords = [self._resolve(kw) for kw in query.keywords]
+        _theta_q, counts, phi_q = plan_theta_q(keywords, self.catalog)
+
+        # Merge per-keyword prefixes into one coverage instance with global
+        # set ids; the stored L_w lists are offset and clipped to the active
+        # prefix (Example 5 loads all of L_music/L_book but only rr1-rr9 /
+        # rr1-rr4 of the set regions).
+        merged: List[np.ndarray] = []
+        merged_inverted: Dict[int, List[np.ndarray]] = {}
+        base = 0
+        for kw in keywords:
+            count = counts[kw]
+            merged.extend(self.load_rr_prefix(kw, count))
+            for vertex, set_ids in self.load_inverted_lists(kw):
+                active = set_ids[: np.searchsorted(set_ids, count)]
+                if len(active):
+                    merged_inverted.setdefault(vertex, []).append(active + base)
+            base += count
+        inverted = {
+            v: np.concatenate(parts) for v, parts in merged_inverted.items()
+        }
+        instance = CoverageInstance(self.n_vertices, merged, inverted)
+        seeds, marginals = lazy_greedy_max_coverage(instance, query.k)
+
+        theta_used = len(merged)
+        stats = QueryStats(
+            elapsed_seconds=time.perf_counter() - started,
+            rr_sets_considered=theta_used,
+            rr_sets_loaded=theta_used,
+            io=self.stats.delta(before),
+        )
+        return SeedSelection(
+            seeds=tuple(seeds),
+            marginal_coverages=tuple(marginals),
+            theta=theta_used,
+            phi_q=phi_q,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve(self, keyword) -> str:
+        """Accept topic names directly; ids resolve through the catalog."""
+        if isinstance(keyword, str):
+            return keyword
+        for name, meta in self.catalog.items():
+            if meta.topic_id == keyword:
+                return name
+        raise IndexError_(f"topic id {keyword!r} is not in the index")
+
+    def close(self) -> None:
+        """Release the underlying file."""
+        self._reader.close()
+
+    def __enter__(self) -> "RRIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

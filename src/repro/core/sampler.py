@@ -1,0 +1,81 @@
+"""RR-set sampling drivers.
+
+The three samplers the paper defines differ only in the *root*
+distribution:
+
+* RIS (Definition 2): roots uniform over ``V``;
+* WRIS (Eqn. 3): roots ∝ ``φ(v, Q)``;
+* discriminative WRIS (Section 4.1): roots ∝ ``tf_{v,w}`` per keyword.
+
+Given roots, every sampler delegates to the propagation model's
+``sample_rr_set`` — the model-agnosticism the paper inherits from RIS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.propagation.base import PropagationModel
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "sample_uniform_roots",
+    "sample_weighted_roots",
+    "sample_rr_sets",
+    "mean_rr_set_size",
+]
+
+
+def sample_uniform_roots(
+    n_vertices: int, theta: int, rng: RngLike = None
+) -> np.ndarray:
+    """θ root vertices sampled uniformly with replacement (RIS)."""
+    n_vertices = check_positive_int("n_vertices", n_vertices)
+    theta = check_positive_int("theta", theta)
+    return as_rng(rng).integers(0, n_vertices, size=theta, dtype=np.int64)
+
+
+def sample_weighted_roots(
+    users: np.ndarray,
+    probabilities: np.ndarray,
+    theta: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """θ roots drawn from an explicit categorical distribution.
+
+    ``users``/``probabilities`` come from
+    :meth:`~repro.profiles.ProfileStore.query_distribution` (WRIS) or
+    :meth:`~repro.profiles.ProfileStore.sampling_distribution`
+    (discriminative per-keyword sampling).
+    """
+    theta = check_positive_int("theta", theta)
+    users = np.asarray(users, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if users.shape != probabilities.shape or users.ndim != 1:
+        raise ValueError("users and probabilities must be aligned 1-D arrays")
+    if len(users) == 0:
+        raise ValueError("cannot sample roots from an empty distribution")
+    total = probabilities.sum()
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise ValueError(f"root probabilities must sum to 1, got {total}")
+    return as_rng(rng).choice(users, size=theta, p=probabilities)
+
+
+def sample_rr_sets(
+    model: PropagationModel,
+    roots: Sequence[int],
+    rng: RngLike = None,
+) -> List[np.ndarray]:
+    """One RR set per root, in root order."""
+    gen = as_rng(rng)
+    return [model.sample_rr_set(int(root), gen) for root in roots]
+
+
+def mean_rr_set_size(rr_sets: Sequence[np.ndarray]) -> float:
+    """Average RR-set cardinality (the Table 5 "Mean RR size" column)."""
+    if not rr_sets:
+        return 0.0
+    return float(sum(len(rr) for rr in rr_sets)) / len(rr_sets)

@@ -1,0 +1,185 @@
+"""Online serving tier: many queries against one open RR index.
+
+The paper's deployment story is an ad platform answering a *stream* of
+advertiser queries against one pre-built index.  Successive queries share
+keywords heavily (popular verticals are queried most), so a serving tier
+naturally caches decoded per-keyword blocks — the RR sets and inverted
+lists of a keyword — across queries, on top of the page-level buffer
+pool.
+
+:class:`KBTIMServer` wraps an open :class:`~repro.core.rr_index.RRIndex`
+with an LRU keyword-block cache and executes Algorithm 2 against cached
+blocks.  Results are identical to :meth:`RRIndex.query` (asserted by the
+tests); only the cost profile changes: a warm keyword costs zero disk
+reads and zero decode work.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
+from repro.core.query import KBTIMQuery
+from repro.core.results import QueryStats, SeedSelection
+from repro.core.rr_index import RRIndex, plan_theta_q
+from repro.errors import QueryError
+from repro.utils.validation import check_positive_int
+
+__all__ = ["KBTIMServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics."""
+
+    queries: int = 0
+    keyword_hits: int = 0
+    keyword_misses: int = 0
+    total_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Keyword-block cache hit ratio (0 when idle)."""
+        touched = self.keyword_hits + self.keyword_misses
+        return self.keyword_hits / touched if touched else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-query latency in seconds."""
+        return self.total_seconds / self.queries if self.queries else 0.0
+
+    def percentile_latency(self, q: float) -> float:
+        """Latency percentile (e.g. ``q=95``) over served queries."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+
+class _KeywordBlock:
+    """Fully decoded per-keyword data: RR sets + inverted lists."""
+
+    __slots__ = ("rr_sets", "inverted")
+
+    def __init__(
+        self, rr_sets: List[np.ndarray], inverted: List[Tuple[int, np.ndarray]]
+    ) -> None:
+        self.rr_sets = rr_sets
+        self.inverted = inverted
+
+
+class KBTIMServer:
+    """Query server over one open RR index with keyword-block caching.
+
+    Parameters
+    ----------
+    index:
+        An open :class:`~repro.core.rr_index.RRIndex`.  The server does
+        not take ownership; close it yourself (or use the server as a
+        context manager, which closes the index on exit).
+    cache_keywords:
+        Maximum number of keyword blocks held in memory (LRU).
+    """
+
+    def __init__(self, index: RRIndex, *, cache_keywords: int = 64) -> None:
+        self.index = index
+        self.cache_keywords = check_positive_int("cache_keywords", cache_keywords)
+        self._blocks: "OrderedDict[str, _KeywordBlock]" = OrderedDict()
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    def _block(self, keyword: str) -> _KeywordBlock:
+        block = self._blocks.get(keyword)
+        if block is not None:
+            self._blocks.move_to_end(keyword)
+            self.stats.keyword_hits += 1
+            return block
+        self.stats.keyword_misses += 1
+        meta = self.index.catalog.get(keyword)
+        if meta is None:
+            raise QueryError(f"keyword {keyword!r} is not in the index")
+        block = _KeywordBlock(
+            rr_sets=self.index.load_rr_prefix(keyword, meta.n_sets),
+            inverted=self.index.load_inverted_lists(keyword),
+        )
+        if len(self._blocks) >= self.cache_keywords:
+            self._blocks.popitem(last=False)
+        self._blocks[keyword] = block
+        return block
+
+    # ------------------------------------------------------------------
+    def query(self, query: KBTIMQuery) -> SeedSelection:
+        """Answer ``query`` from cached blocks (Algorithm 2 semantics)."""
+        if query.k > self.index.K:
+            raise QueryError(
+                f"Q.k ({query.k}) exceeds the index's system parameter K "
+                f"({self.index.K})"
+            )
+        started = time.perf_counter()
+        before = self.index.stats.snapshot()
+        keywords = [self.index._resolve(kw) for kw in query.keywords]
+        _theta_q, counts, phi_q = plan_theta_q(keywords, self.index.catalog)
+
+        merged: List[np.ndarray] = []
+        merged_inverted: Dict[int, List[np.ndarray]] = {}
+        base = 0
+        for kw in keywords:
+            count = counts[kw]
+            block = self._block(kw)
+            merged.extend(block.rr_sets[:count])
+            for vertex, set_ids in block.inverted:
+                active = set_ids[: np.searchsorted(set_ids, count)]
+                if len(active):
+                    merged_inverted.setdefault(vertex, []).append(active + base)
+            base += count
+        inverted = {
+            v: np.concatenate(parts) if len(parts) > 1 else parts[0]
+            for v, parts in merged_inverted.items()
+        }
+        instance = CoverageInstance(self.index.n_vertices, merged, inverted)
+        seeds, marginals = lazy_greedy_max_coverage(instance, query.k)
+
+        elapsed = time.perf_counter() - started
+        self.stats.queries += 1
+        self.stats.total_seconds += elapsed
+        self.stats.latencies.append(elapsed)
+        theta_used = len(merged)
+        stats = QueryStats(
+            elapsed_seconds=elapsed,
+            rr_sets_considered=theta_used,
+            rr_sets_loaded=theta_used,
+            io=self.index.stats.delta(before),
+        )
+        return SeedSelection(
+            seeds=tuple(seeds),
+            marginal_coverages=tuple(marginals),
+            theta=theta_used,
+            phi_q=phi_q,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def warm(self, keywords) -> None:
+        """Pre-load keyword blocks (e.g. the most popular verticals)."""
+        for kw in keywords:
+            self._block(self.index._resolve(kw))
+
+    def evict_all(self) -> None:
+        """Drop every cached block (for memory-pressure handling)."""
+        self._blocks.clear()
+
+    @property
+    def cached_keywords(self) -> List[str]:
+        """Currently cached keyword names, LRU order (oldest first)."""
+        return list(self._blocks)
+
+    def __enter__(self) -> "KBTIMServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.index.close()

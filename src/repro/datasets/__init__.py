@@ -1,0 +1,23 @@
+"""Evaluation datasets: scaled news / Twitter families, workloads, fixtures."""
+
+from repro.datasets.paper_example import paper_example_graph, paper_example_profiles
+from repro.datasets.synthetic import (
+    NEWS_SIZES,
+    TWITTER_SIZES,
+    Dataset,
+    news_dataset,
+    twitter_dataset,
+)
+from repro.datasets.workload import QueryWorkload, make_workload
+
+__all__ = [
+    "Dataset",
+    "news_dataset",
+    "twitter_dataset",
+    "NEWS_SIZES",
+    "TWITTER_SIZES",
+    "QueryWorkload",
+    "make_workload",
+    "paper_example_graph",
+    "paper_example_profiles",
+]

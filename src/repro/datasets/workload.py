@@ -1,0 +1,81 @@
+"""Keyword query workloads.
+
+The paper draws real queries from the AOL log, keeps those whose terms map
+into the 200-topic space, and extracts 100 queries per length 1..6.
+Without the (long-withdrawn) AOL data we generate workloads with the same
+marginal the experiments exercise: queries mention popular topics more
+often, lengths range 1..6, and every query resolves against the dataset's
+topic space (queries over topics nobody cares about are filtered, like the
+paper's topic-keyword filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.query import KBTIMQuery
+from repro.errors import QueryError
+from repro.profiles.generators import zipf_weights
+from repro.profiles.store import ProfileStore
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = ["QueryWorkload", "make_workload"]
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A batch of KB-TIM queries of a common length and seed budget."""
+
+    length: int
+    k: int
+    queries: Tuple[KBTIMQuery, ...]
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+def make_workload(
+    profiles: ProfileStore,
+    *,
+    length: int,
+    k: int,
+    n_queries: int = 20,
+    zipf_exponent: float = 1.0,
+    rng: RngLike = None,
+) -> QueryWorkload:
+    """Generate ``n_queries`` keyword sets of the given ``length``.
+
+    Topics are drawn without replacement with probability proportional to
+    a Zipf law over topic ids, restricted to topics that at least one user
+    cares about (``df > 0``) — the analogue of filtering AOL queries to
+    the extracted topic vocabulary.
+    """
+    length = check_positive_int("length", length)
+    k = check_positive_int("k", k)
+    n_queries = check_positive_int("n_queries", n_queries)
+    gen = as_rng(rng)
+
+    topics = profiles.topics
+    usable = [t for t in range(topics.size) if profiles.df(t) > 0]
+    if len(usable) < length:
+        raise QueryError(
+            f"workload needs {length} usable topics but only {len(usable)} "
+            "have any relevant user"
+        )
+    weights = zipf_weights(topics.size, zipf_exponent)[usable]
+    weights = weights / weights.sum()
+    usable_arr = np.asarray(usable, dtype=np.int64)
+
+    queries: List[KBTIMQuery] = []
+    for _ in range(n_queries):
+        chosen = gen.choice(usable_arr, size=length, replace=False, p=weights)
+        names = tuple(topics.name(int(t)) for t in chosen)
+        queries.append(KBTIMQuery(names, k))
+    return QueryWorkload(length=length, k=k, queries=tuple(queries))

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the KB-TIM reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``TypeError``/``ValueError`` raised
+by argument validation) from domain failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs (bad vertex ids, inconsistent CSR, ...)."""
+
+
+class ProfileError(ReproError):
+    """Raised for malformed topic profiles or unknown topics."""
+
+
+class QueryError(ReproError):
+    """Raised for invalid KB-TIM queries (empty keyword set, bad k, ...)."""
+
+
+class StorageError(ReproError):
+    """Raised for on-disk format violations and I/O layer misuse."""
+
+
+class CorruptIndexError(StorageError):
+    """Raised when an index file fails checksum / magic / bounds validation."""
+
+
+class IndexError_(ReproError):
+    """Raised for logical index errors (keyword missing, not built, ...).
+
+    Named with a trailing underscore to avoid shadowing the ``IndexError``
+    builtin while keeping the obvious name.
+    """
+
+
+class EstimationError(ReproError):
+    """Raised when OPT estimation cannot produce a usable lower bound."""

@@ -1,0 +1,189 @@
+"""Figure experiments (Section 6, Figures 4-7).
+
+Figures are reproduced as data series (one table row per plotted point);
+the benches print them and EXPERIMENTS.md records the shape comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.query import KBTIMQuery
+from repro.core.wris import wris_query
+from repro.datasets.synthetic import Dataset
+from repro.experiments.harness import ExperimentContext, _stable_salt
+from repro.experiments.reporting import Table
+from repro.experiments.tables import workload_queries
+from repro.graph.stats import in_degree_histogram, log_binned_histogram
+from repro.utils.rng import optional_seed
+
+__all__ = ["run_figure4", "run_figure5", "run_figure6", "run_figure7"]
+
+
+def run_figure4(ctx: ExperimentContext, *, bins_per_decade: int = 4) -> Table:
+    """In-degree distributions (log-binned) for both dataset families."""
+    table = Table(
+        "Figure 4: in-degree distributions",
+        ("dataset", "in-degree (bin center)", "#users"),
+    )
+    for family in ("news", "twitter"):
+        ds = ctx.default_dataset(family)
+        degrees, counts = in_degree_histogram(ds.graph)
+        centers, binned = log_binned_histogram(
+            degrees, counts, bins_per_decade=bins_per_decade
+        )
+        for center, count in zip(centers, binned):
+            table.add_row(ds.name, float(center), int(count))
+    table.add_note(
+        "paper shape: twitter heavy-tailed (hubs with huge in-degree); "
+        "news falls off fast"
+    )
+    return table
+
+
+def _sweep(
+    ctx: ExperimentContext,
+    *,
+    axis: str,
+    family: str,
+    values,
+    dataset_for,
+    query_params,
+) -> List[Dict[str, object]]:
+    """Shared Figures 5-7 machinery: run all three methods per point.
+
+    Returns one record per sweep value with mean execution time per method
+    and mean RR sets loaded for the two indexes.
+    """
+    records: List[Dict[str, object]] = []
+    for value in values:
+        ds: Dataset = dataset_for(value)
+        params = query_params(value)
+        queries = workload_queries(ctx, ds, **params)
+        rr = ctx.open_rr(ds)
+        irr = ctx.open_irr(ds)
+        try:
+            times = {"WRIS": [], "RR": [], "IRR": []}
+            loaded = {"RR": [], "IRR": []}
+            for qi, query in enumerate(queries):
+                wris_answer = wris_query(
+                    ds.ic_model,
+                    ds.profiles,
+                    query,
+                    policy=ctx.scale.policy,
+                    rng=optional_seed(
+                        ctx.scale.seed, _stable_salt((axis, ds.name, value, qi))
+                    ),
+                )
+                rr_answer = rr.query(query)
+                irr_answer = irr.query(query)
+                times["WRIS"].append(wris_answer.stats.elapsed_seconds)
+                times["RR"].append(rr_answer.stats.elapsed_seconds)
+                times["IRR"].append(irr_answer.stats.elapsed_seconds)
+                loaded["RR"].append(rr_answer.stats.rr_sets_loaded)
+                loaded["IRR"].append(irr_answer.stats.rr_sets_loaded)
+            records.append(
+                {
+                    "dataset": ds.name,
+                    "value": value,
+                    "wris_time": float(np.mean(times["WRIS"])),
+                    "rr_time": float(np.mean(times["RR"])),
+                    "irr_time": float(np.mean(times["IRR"])),
+                    "rr_loaded": float(np.mean(loaded["RR"])),
+                    "irr_loaded": float(np.mean(loaded["IRR"])),
+                }
+            )
+        finally:
+            rr.close()
+            irr.close()
+    return records
+
+
+def _records_to_table(title: str, axis_name: str, records) -> Table:
+    table = Table(
+        title,
+        (
+            "dataset",
+            axis_name,
+            "WRIS time (s)",
+            "RR time (s)",
+            "IRR time (s)",
+            "RR sets loaded (RR)",
+            "RR sets loaded (IRR)",
+        ),
+    )
+    for rec in records:
+        table.add_row(
+            rec["dataset"],
+            rec["value"],
+            rec["wris_time"],
+            rec["rr_time"],
+            rec["irr_time"],
+            rec["rr_loaded"],
+            rec["irr_loaded"],
+        )
+    table.add_note(
+        "paper shape: RR/IRR orders of magnitude below WRIS; "
+        "IRR loads fewer sets than RR on twitter, converges to RR on news"
+    )
+    return table
+
+
+def run_figure5(ctx: ExperimentContext) -> Table:
+    """Vary the seed budget Q.k (Figure 5)."""
+    records = []
+    for family in ("news", "twitter"):
+        ds = ctx.default_dataset(family)
+        records.extend(
+            _sweep(
+                ctx,
+                axis="fig5",
+                family=family,
+                values=ctx.scale.k_values,
+                dataset_for=lambda _v, ds=ds: ds,
+                query_params=lambda k: {"k": k},
+            )
+        )
+    return _records_to_table("Figure 5: varying the seed set size Q.k", "Q.k", records)
+
+
+def run_figure6(ctx: ExperimentContext) -> Table:
+    """Vary the number of query keywords |Q.T| (Figure 6)."""
+    records = []
+    for family in ("news", "twitter"):
+        ds = ctx.default_dataset(family)
+        records.extend(
+            _sweep(
+                ctx,
+                axis="fig6",
+                family=family,
+                values=ctx.scale.keyword_lengths,
+                dataset_for=lambda _v, ds=ds: ds,
+                query_params=lambda length: {"length": length},
+            )
+        )
+    return _records_to_table(
+        "Figure 6: varying the query keyword count |Q.T|", "|Q.T|", records
+    )
+
+
+def run_figure7(ctx: ExperimentContext) -> Table:
+    """Vary the graph size |V| (Figure 7)."""
+    records = []
+    for family, indices in (
+        ("news", ctx.scale.news_sizes),
+        ("twitter", ctx.scale.twitter_sizes),
+    ):
+        records.extend(
+            _sweep(
+                ctx,
+                axis="fig7",
+                family=family,
+                values=indices,
+                dataset_for=lambda idx, family=family: ctx.dataset(family, idx),
+                query_params=lambda _idx: {},
+            )
+        )
+    return _records_to_table("Figure 7: varying the graph size |V|", "size idx", records)

@@ -1,0 +1,94 @@
+"""Result tables: structured rows + ASCII rendering + CSV export.
+
+Every experiment returns a :class:`Table`, so benches can both print the
+paper-shaped rows and persist them for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Table", "format_value"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, *, precision: int = 3) -> str:
+    """Human-friendly cell rendering (SI-ish floats, thousands grouping)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of results with optional footnotes."""
+
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple[Cell, ...]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote rendered under the grid."""
+        self.notes.append(note)
+
+    def render(self, *, precision: int = 3) -> str:
+        """ASCII rendering with column alignment."""
+        formatted = [
+            [format_value(c, precision=precision) for c in row] for row in self.rows
+        ]
+        widths = [
+            max(len(h), *(len(r[i]) for r in formatted)) if formatted else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in formatted:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        """Write headers + raw (unformatted) rows as CSV."""
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+
+    def column(self, header: str) -> List[Cell]:
+        """All values of one column (for assertions in tests/benches)."""
+        try:
+            idx = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column {header!r} in table {self.title!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()

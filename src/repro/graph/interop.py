@@ -1,0 +1,72 @@
+"""Interoperability with networkx.
+
+Downstream users usually hold their social network as a
+``networkx.DiGraph``; these converters bridge to the library's CSR
+representation without losing influence probabilities (carried on the
+``probability`` edge attribute, defaulting to weighted-cascade on
+import when absent).
+
+networkx is an *optional* dependency: the import lives inside the
+functions so the core library keeps its numpy-only footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+_PROBABILITY_KEY = "probability"
+
+
+def to_networkx(graph: DiGraph):
+    """Convert to ``networkx.DiGraph`` with ``probability`` edge attributes."""
+    import networkx as nx
+
+    result = nx.DiGraph()
+    result.add_nodes_from(range(graph.n))
+    for u, v, p in graph.edges():
+        result.add_edge(u, v, **{_PROBABILITY_KEY: p})
+    return result
+
+
+def from_networkx(nx_graph, *, probability_key: Optional[str] = _PROBABILITY_KEY) -> DiGraph:
+    """Convert a ``networkx.DiGraph`` (or ``Graph``) into a :class:`DiGraph`.
+
+    Nodes may be arbitrary hashables; they are relabelled to dense ids in
+    sorted-by-insertion order (``list(nx_graph.nodes)``).  Undirected
+    graphs become bidirectional edge pairs, matching how social "friend"
+    networks are handled in the IM literature.
+
+    Parameters
+    ----------
+    probability_key:
+        Edge-attribute name carrying ``p(e)``; edges missing the key (or
+        ``probability_key=None``) fall back to the weighted-cascade
+        default ``1 / in_degree``.
+    """
+    import networkx as nx
+
+    nodes = list(nx_graph.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+
+    directed = nx_graph.is_directed()
+    edges = []
+    probs = []
+    have_all_probs = probability_key is not None
+    for u, v, data in nx_graph.edges(data=True):
+        pairs = [(u, v)] if directed else [(u, v), (v, u)]
+        for a, b in pairs:
+            edges.append((index[a], index[b]))
+            if have_all_probs and probability_key in data:
+                probs.append(float(data[probability_key]))
+            else:
+                have_all_probs = False
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported (parallel edges)")
+    return DiGraph.from_edges(
+        len(nodes), edges, probs if have_all_probs and probs else None
+    )

@@ -1,0 +1,173 @@
+"""Topic space: the universal set ``T`` of Section 3.1.
+
+The paper maps user activity into a latent topic space via topic modelling
+and uses "topic" and "keyword" interchangeably.  For the algorithms, a topic
+is just an id with a name; this class provides the bidirectional mapping and
+validation.  The default spaces used by the synthetic datasets name topics
+after advertising verticals so example output reads like the paper's
+Table 8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import ProfileError
+
+__all__ = ["TopicSpace", "DEFAULT_TOPIC_NAMES"]
+
+TopicRef = Union[int, str]
+
+#: Advertising-vertical names used by the synthetic datasets.  The paper's
+#: examples revolve around "software", "journal", "music", "book" etc.; we
+#: keep those first so example output mirrors Table 8 / Figure 1.
+DEFAULT_TOPIC_NAMES: Tuple[str, ...] = (
+    "software",
+    "journal",
+    "music",
+    "book",
+    "sport",
+    "car",
+    "travel",
+    "food",
+    "fashion",
+    "finance",
+    "movies",
+    "games",
+    "health",
+    "science",
+    "politics",
+    "education",
+    "art",
+    "photography",
+    "fitness",
+    "pets",
+    "gardening",
+    "cooking",
+    "history",
+    "comics",
+    "theatre",
+    "dance",
+    "hiking",
+    "sailing",
+    "astronomy",
+    "chess",
+    "poker",
+    "cycling",
+    "running",
+    "swimming",
+    "yoga",
+    "investing",
+    "crypto",
+    "realestate",
+    "parenting",
+    "weddings",
+    "diy",
+    "electronics",
+    "cameras",
+    "audio",
+    "watches",
+    "jewelry",
+    "shoes",
+    "outdoors",
+)
+
+
+class TopicSpace:
+    """Immutable ordered set of topic names with id lookup.
+
+    Topic ids are dense integers ``0..size-1`` in declaration order.
+    """
+
+    __slots__ = ("_names", "_ids")
+
+    def __init__(self, names: Iterable[str]) -> None:
+        names = tuple(names)
+        if not names:
+            raise ProfileError("topic space must contain at least one topic")
+        ids = {}
+        for i, name in enumerate(names):
+            if not isinstance(name, str) or not name:
+                raise ProfileError(f"topic names must be non-empty strings, got {name!r}")
+            if name in ids:
+                raise ProfileError(f"duplicate topic name: {name!r}")
+            ids[name] = i
+        self._names: Tuple[str, ...] = names
+        self._ids = ids
+
+    @classmethod
+    def default(cls, size: int = len(DEFAULT_TOPIC_NAMES)) -> "TopicSpace":
+        """The built-in advertising-vertical space, truncated or extended.
+
+        Sizes beyond the built-in name list get synthetic ``topic_<i>``
+        names, letting tests exercise the paper's 200-topic setting.
+        """
+        if size < 1:
+            raise ProfileError(f"size must be >= 1, got {size}")
+        if size <= len(DEFAULT_TOPIC_NAMES):
+            return cls(DEFAULT_TOPIC_NAMES[:size])
+        extra = [f"topic_{i}" for i in range(len(DEFAULT_TOPIC_NAMES), size)]
+        return cls(DEFAULT_TOPIC_NAMES + tuple(extra))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of topics."""
+        return len(self._names)
+
+    def name(self, topic_id: int) -> str:
+        """Topic name for ``topic_id``."""
+        if not 0 <= topic_id < self.size:
+            raise ProfileError(f"topic id {topic_id} out of range [0, {self.size})")
+        return self._names[topic_id]
+
+    def id(self, ref: TopicRef) -> int:
+        """Resolve a topic id or name into an id."""
+        if isinstance(ref, str):
+            try:
+                return self._ids[ref]
+            except KeyError:
+                raise ProfileError(f"unknown topic: {ref!r}") from None
+        if isinstance(ref, bool) or not isinstance(ref, int):
+            raise ProfileError(f"topic reference must be int or str, got {type(ref).__name__}")
+        if not 0 <= ref < self.size:
+            raise ProfileError(f"topic id {ref} out of range [0, {self.size})")
+        return int(ref)
+
+    def ids(self, refs: Iterable[TopicRef]) -> List[int]:
+        """Resolve several topic references, rejecting duplicates."""
+        resolved = [self.id(ref) for ref in refs]
+        if len(set(resolved)) != len(resolved):
+            raise ProfileError("duplicate topics in keyword set")
+        return resolved
+
+    def names(self) -> Sequence[str]:
+        """All topic names in id order."""
+        return self._names
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, ref: object) -> bool:
+        if isinstance(ref, str):
+            return ref in self._ids
+        if isinstance(ref, int) and not isinstance(ref, bool):
+            return 0 <= ref < self.size
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopicSpace):
+            return NotImplemented
+        return self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(self._names[:3])
+        suffix = ", ..." if self.size > 3 else ""
+        return f"TopicSpace(size={self.size}: {preview}{suffix})"

@@ -1,0 +1,142 @@
+"""General triggering model (Kempe et al.; paper Section 2.1, footnote 2).
+
+Every vertex ``v`` independently draws a *triggering set* ``T_v`` from a
+distribution over subsets of its in-neighbours; ``v`` activates when any
+member of ``T_v`` is active.  IC (each in-edge in ``T_v`` independently
+with ``p(e)``) and LT (at most one in-edge) are special cases.
+
+The class takes the trigger distribution as a callable so tests and users
+can plug arbitrary models; :meth:`GeneralTriggering.independent` and
+:meth:`GeneralTriggering.single_pick` rebuild IC / LT semantics through the
+generic path, which the test suite uses to cross-validate all three
+implementations against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+from repro.propagation.base import PropagationModel, validate_seed_set
+from repro.utils.rng import RngLike, as_rng
+
+__all__ = ["GeneralTriggering", "TriggerSampler"]
+
+#: ``sampler(vertex, rng) -> array of in-neighbour ids`` drawn as T_v.
+TriggerSampler = Callable[[int, np.random.Generator], np.ndarray]
+
+
+class GeneralTriggering(PropagationModel):
+    """Triggering model parameterised by a per-vertex trigger sampler."""
+
+    def __init__(self, graph: DiGraph, trigger_sampler: TriggerSampler) -> None:
+        super().__init__(graph)
+        if not callable(trigger_sampler):
+            raise TypeError("trigger_sampler must be callable")
+        self.trigger_sampler = trigger_sampler
+
+    @property
+    def name(self) -> str:
+        """Model identifier used in reports."""
+        return "TR"
+
+    # ------------------------------------------------------------------
+    # canned distributions
+    # ------------------------------------------------------------------
+    @classmethod
+    def independent(cls, graph: DiGraph) -> "GeneralTriggering":
+        """IC as a triggering model: each in-edge enters T_v with ``p(e)``."""
+
+        def sampler(v: int, gen: np.random.Generator) -> np.ndarray:
+            neighbors = graph.in_neighbors(v)
+            if len(neighbors) == 0:
+                return neighbors
+            coins = gen.random(len(neighbors)) < graph.in_edge_probs(v)
+            return neighbors[coins]
+
+        return cls(graph, sampler)
+
+    @classmethod
+    def single_pick(cls, graph: DiGraph, weights: np.ndarray) -> "GeneralTriggering":
+        """LT as a triggering model: at most one in-edge, per ``weights``.
+
+        ``weights`` is aligned with the in-CSR, per-vertex sums <= 1.
+        """
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+
+        def sampler(v: int, gen: np.random.Generator) -> np.ndarray:
+            start, stop = graph.in_ptr[v], graph.in_ptr[v + 1]
+            if start == stop:
+                return np.empty(0, dtype=np.int64)
+            draw = gen.random()
+            acc = 0.0
+            for idx in range(start, stop):
+                acc += weights[idx]
+                if draw < acc:
+                    return np.asarray([graph.in_src[idx]], dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
+
+        return cls(graph, sampler)
+
+    # ------------------------------------------------------------------
+    # model primitives
+    # ------------------------------------------------------------------
+    def sample_rr_set(self, root: int, rng: RngLike = None) -> np.ndarray:
+        """Reverse search expanding each visited vertex's trigger set."""
+        graph = self.graph
+        graph._check_vertex(root)
+        gen = as_rng(rng)
+
+        visited = np.zeros(graph.n, dtype=bool)
+        visited[root] = True
+        result = [root]
+        frontier = [root]
+        while frontier:
+            next_frontier = []
+            for x in frontier:
+                for u in self.trigger_sampler(x, gen):
+                    u = int(u)
+                    if not visited[u]:
+                        visited[u] = True
+                        result.append(u)
+                        next_frontier.append(u)
+            frontier = next_frontier
+        result.sort()
+        return np.asarray(result, dtype=np.int64)
+
+    def simulate(self, seeds: Sequence[int], rng: RngLike = None) -> np.ndarray:
+        """Forward cascade by materialising one live-edge world.
+
+        Trigger sets are drawn for every vertex up front (they are
+        independent of the process), then activation is reachability over
+        the induced live edges.
+        """
+        graph = self.graph
+        seed_arr = validate_seed_set(graph, seeds)
+        gen = as_rng(rng)
+
+        # live_in[v] = members of T_v; build lazily only for vertices we
+        # might touch?  Correctness first: draw all (n is small in this
+        # reproduction); the RIS algorithms never call simulate.
+        live_out: dict = {}
+        for v in range(graph.n):
+            for u in self.trigger_sampler(v, gen):
+                live_out.setdefault(int(u), []).append(v)
+
+        active = np.zeros(graph.n, dtype=bool)
+        active[seed_arr] = True
+        result = [int(s) for s in seed_arr]
+        frontier = list(result)
+        while frontier:
+            next_frontier = []
+            for u in frontier:
+                for v in live_out.get(u, ()):
+                    if not active[v]:
+                        active[v] = True
+                        result.append(v)
+                        next_frontier.append(v)
+            frontier = next_frontier
+        result.sort()
+        return np.asarray(result, dtype=np.int64)

@@ -1,0 +1,46 @@
+"""Disk substrate: I/O accounting, compression codecs, paged files, segments.
+
+The paper's RR/IRR indexes are *disk* indexes: their value proposition is
+moving sampling cost offline and paying only bounded I/O at query time
+(Tables 4 and 6).  This package provides the pieces a real storage engine
+needs so those claims can be measured rather than modelled:
+
+* :mod:`repro.storage.iostats` — physical-I/O counters;
+* :mod:`repro.storage.varint` / :mod:`repro.storage.bitpack` — integer
+  coding primitives;
+* :mod:`repro.storage.compression` — the delta + PFoR-style codec standing
+  in for FastPFOR (see DESIGN.md substitutions);
+* :mod:`repro.storage.pager` — paged file reads through an LRU buffer pool;
+* :mod:`repro.storage.segments` — a named-segment container file with
+  checksummed table of contents, used by both index formats;
+* :mod:`repro.storage.records` — record encodings for RR-set collections
+  and inverted lists.
+"""
+
+from repro.storage.iostats import IOStats
+from repro.storage.varint import decode_varints, encode_varints
+from repro.storage.bitpack import pack_fixed_width, unpack_fixed_width
+from repro.storage.compression import Codec, compress_ids, decompress_ids
+from repro.storage.pager import BufferPool, PagedFile
+from repro.storage.segments import SegmentReader, SegmentWriter
+from repro.storage.records import (
+    RRSetsRecord,
+    InvertedListsRecord,
+)
+
+__all__ = [
+    "IOStats",
+    "encode_varints",
+    "decode_varints",
+    "pack_fixed_width",
+    "unpack_fixed_width",
+    "Codec",
+    "compress_ids",
+    "decompress_ids",
+    "PagedFile",
+    "BufferPool",
+    "SegmentWriter",
+    "SegmentReader",
+    "RRSetsRecord",
+    "InvertedListsRecord",
+]

@@ -1,0 +1,74 @@
+"""Fixed-width bit packing over numpy arrays.
+
+The PFoR-style codec in :mod:`repro.storage.compression` packs each block's
+values into ``b`` bits each.  This module implements that primitive: pack a
+``uint64`` array into a little-endian bitstream of ``width`` bits per value
+and unpack it back, both vectorised through numpy's ``packbits`` support.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+
+__all__ = ["pack_fixed_width", "unpack_fixed_width", "bits_needed"]
+
+_MAX_WIDTH = 64
+
+
+def bits_needed(values: np.ndarray) -> int:
+    """Smallest width (>= 1) that can represent every value in ``values``."""
+    if len(values) == 0:
+        return 1
+    top = int(np.asarray(values).max())
+    if top < 0:
+        raise StorageError("bit packing requires non-negative values")
+    return max(1, top.bit_length())
+
+
+def pack_fixed_width(values: np.ndarray, width: int) -> bytes:
+    """Pack ``values`` into ``width``-bit little-endian fields.
+
+    Raises :class:`~repro.errors.StorageError` when a value does not fit.
+    """
+    if not 1 <= width <= _MAX_WIDTH:
+        raise StorageError(f"width must be in [1, {_MAX_WIDTH}], got {width}")
+    arr = np.ascontiguousarray(values, dtype=np.uint64)
+    if len(arr) and width < _MAX_WIDTH and int(arr.max()) >= (1 << width):
+        raise StorageError(
+            f"value {int(arr.max())} does not fit in {width} bits"
+        )
+    if len(arr) == 0:
+        return b""
+    # Expand each value into its bits (LSB first), then pack.
+    bit_matrix = (
+        arr[:, None] >> np.arange(width, dtype=np.uint64)[None, :]
+    ) & np.uint64(1)
+    bits = bit_matrix.reshape(-1).astype(np.uint8)
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def unpack_fixed_width(data: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_fixed_width`; returns ``uint64`` array."""
+    if not 1 <= width <= _MAX_WIDTH:
+        raise StorageError(f"width must be in [1, {_MAX_WIDTH}], got {width}")
+    if count < 0:
+        raise StorageError(f"count must be >= 0, got {count}")
+    if count == 0:
+        return np.empty(0, dtype=np.uint64)
+    needed_bits = width * count
+    needed_bytes = (needed_bits + 7) // 8
+    if len(data) < needed_bytes:
+        raise StorageError(
+            f"bit-packed payload truncated: need {needed_bytes} bytes, "
+            f"have {len(data)}"
+        )
+    bits = np.unpackbits(
+        np.frombuffer(data[:needed_bytes], dtype=np.uint8), bitorder="little"
+    )[:needed_bits]
+    bit_matrix = bits.reshape(count, width).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+    return bit_matrix @ weights

@@ -1,0 +1,180 @@
+"""Sorted-id-list compression: delta + varint, and a PFoR-style block codec.
+
+The paper compresses both indexes with FastPFOR (as adopted by Apache
+Lucene) and reports ~50% / ~40% space savings on the news / Twitter indexes
+with negligible build-time overhead (Table 4).  FastPFOR itself is a SIMD
+C++ library; this module substitutes a faithful pure-Python relative:
+
+* ``Codec.VARINT`` — delta-gap + LEB128, the classic inverted-list coding;
+* ``Codec.PFOR`` — delta-gap, then blocks of 128 gaps packed at a fixed bit
+  width ``b`` chosen to cover ~90% of values, with larger values stored as
+  varint *exceptions* (patched on decode) — the Patched Frame-of-Reference
+  scheme FastPFOR descends from;
+* ``Codec.RAW`` — uncompressed little-endian ``uint32``/``uint64``,
+  modelling the paper's "uncompress" index variant.
+
+All codecs are self-describing per list: the first byte tags the codec, so
+readers do not need out-of-band configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.bitpack import bits_needed, pack_fixed_width, unpack_fixed_width
+from repro.storage.varint import (
+    decode_varint,
+    decode_varints,
+    encode_varint,
+    encode_varints,
+)
+
+__all__ = ["Codec", "compress_ids", "decompress_ids"]
+
+_PFOR_BLOCK = 128
+_PFOR_COVERAGE = 0.90
+
+
+class Codec(enum.Enum):
+    """Available list codecs; values are the on-disk tag bytes."""
+
+    RAW = 0
+    VARINT = 1
+    PFOR = 2
+
+
+def compress_ids(ids: np.ndarray, codec: Codec = Codec.PFOR) -> bytes:
+    """Compress a strictly-increasing non-negative id array.
+
+    The array *must* be sorted strictly ascending (RR sets and inverted
+    lists are maintained sorted); violations raise
+    :class:`~repro.errors.StorageError` rather than corrupting gaps.
+    """
+    arr = np.ascontiguousarray(ids, dtype=np.int64)
+    if arr.ndim != 1:
+        raise StorageError("id lists must be one-dimensional")
+    if len(arr):
+        if arr[0] < 0:
+            raise StorageError("ids must be non-negative")
+        if len(arr) > 1 and not np.all(np.diff(arr) > 0):
+            raise StorageError("id lists must be strictly increasing")
+
+    header = bytes([codec.value]) + encode_varint(len(arr))
+    if len(arr) == 0:
+        return header
+    if codec is Codec.RAW:
+        return header + arr.astype("<u8").tobytes()
+    gaps = np.empty(len(arr), dtype=np.uint64)
+    gaps[0] = arr[0]
+    if len(arr) > 1:
+        gaps[1:] = np.diff(arr).astype(np.uint64)
+    if codec is Codec.VARINT:
+        return header + encode_varints(gaps.tolist())
+    if codec is Codec.PFOR:
+        return header + _pfor_encode(gaps)
+    raise StorageError(f"unknown codec {codec!r}")  # pragma: no cover
+
+
+def decompress_ids(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
+    """Decode one id list at ``offset``; returns ``(ids, next_offset)``."""
+    if offset >= len(data):
+        raise StorageError("truncated id list: missing codec tag")
+    try:
+        codec = Codec(data[offset])
+    except ValueError:
+        raise StorageError(f"unknown codec tag {data[offset]}") from None
+    count, pos = decode_varint(data, offset + 1)
+    if count == 0:
+        return np.empty(0, dtype=np.int64), pos
+    if codec is Codec.RAW:
+        nbytes = count * 8
+        if pos + nbytes > len(data):
+            raise StorageError("truncated RAW id list")
+        arr = np.frombuffer(data[pos : pos + nbytes], dtype="<u8").astype(np.int64)
+        return arr, pos + nbytes
+    if codec is Codec.VARINT:
+        gaps, pos = decode_varints(data, count, pos)
+        return np.cumsum(np.asarray(gaps, dtype=np.int64)), pos
+    gaps, pos = _pfor_decode(data, count, pos)
+    return np.cumsum(gaps.astype(np.int64)), pos
+
+
+# ----------------------------------------------------------------------
+# PFoR block coding
+# ----------------------------------------------------------------------
+def _pfor_encode(gaps: np.ndarray) -> bytes:
+    """Encode gaps in 128-value patched frame-of-reference blocks.
+
+    Block layout: ``width:uint8 | n_exceptions:varint |
+    (position:varint, excess:varint)* | packed payload``; exception values
+    store only the *excess* bits above the block width so small overshoots
+    stay cheap.  Values inside the block payload are the gaps with
+    exception positions masked to their low ``width`` bits.
+    """
+    out = bytearray()
+    for start in range(0, len(gaps), _PFOR_BLOCK):
+        block = gaps[start : start + _PFOR_BLOCK]
+        width = _choose_width(block)
+        limit = np.uint64(1 << width) if width < 64 else np.uint64(2**63)
+        mask = np.uint64((1 << width) - 1) if width < 64 else ~np.uint64(0)
+        exceptional = block >= limit if width < 64 else np.zeros(len(block), bool)
+        positions = np.nonzero(exceptional)[0]
+        out.append(width)
+        out.extend(encode_varint(len(positions)))
+        for p in positions:
+            excess = int(block[p] >> np.uint64(width))
+            out.extend(encode_varint(int(p)))
+            out.extend(encode_varint(excess))
+        payload = block & mask
+        out.extend(pack_fixed_width(payload, width))
+    return bytes(out)
+
+
+def _pfor_decode(data: bytes, count: int, offset: int) -> Tuple[np.ndarray, int]:
+    gaps = np.empty(count, dtype=np.uint64)
+    filled = 0
+    pos = offset
+    while filled < count:
+        block_len = min(_PFOR_BLOCK, count - filled)
+        if pos >= len(data):
+            raise StorageError("truncated PFoR block header")
+        width = data[pos]
+        pos += 1
+        if not 1 <= width <= 64:
+            raise StorageError(f"bad PFoR width {width}")
+        n_exceptions, pos = decode_varint(data, pos)
+        exceptions = []
+        for _ in range(n_exceptions):
+            p, pos = decode_varint(data, pos)
+            excess, pos = decode_varint(data, pos)
+            if p >= block_len:
+                raise StorageError("PFoR exception position out of range")
+            exceptions.append((p, excess))
+        payload_bytes = (width * block_len + 7) // 8
+        if pos + payload_bytes > len(data):
+            raise StorageError("truncated PFoR payload")
+        block = unpack_fixed_width(data[pos : pos + payload_bytes], width, block_len)
+        pos += payload_bytes
+        for p, excess in exceptions:
+            block[p] |= np.uint64(excess) << np.uint64(width)
+        gaps[filled : filled + block_len] = block
+        filled += block_len
+    return gaps, pos
+
+
+def _choose_width(block: np.ndarray) -> int:
+    """Width covering ``_PFOR_COVERAGE`` of values, capped by the max width.
+
+    Choosing the 90th-percentile width is the PFoR heuristic: most values
+    pack tightly while rare large gaps become exceptions.
+    """
+    full_width = bits_needed(block)
+    if len(block) < 4:
+        return full_width
+    quantile_value = int(np.quantile(block.astype(np.float64), _PFOR_COVERAGE))
+    candidate = max(1, int(quantile_value).bit_length())
+    return min(full_width, max(candidate, 1))

@@ -1,0 +1,84 @@
+"""Physical I/O accounting.
+
+Table 6 of the paper reports the *number of I/Os* issued by the IRR index
+as ``Q.k`` grows.  To reproduce that as a measurement, every read path in
+the storage layer is routed through an :class:`IOStats` instance that
+counts
+
+* ``read_calls`` — logical read requests (one per contiguous range, the
+  closest analogue to the paper's "number of I/O"),
+* ``pages_read`` — physical pages fetched from the file,
+* ``pages_hit`` — pages served from the buffer pool,
+* ``bytes_read`` — payload bytes returned.
+
+The counter is plain mutable state by design: it is threaded explicitly
+through readers (no globals), and :meth:`IOStats.snapshot` /
+:meth:`IOStats.delta` give before/after accounting around a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters (see module docstring for field semantics)."""
+
+    read_calls: int = 0
+    pages_read: int = 0
+    pages_hit: int = 0
+    bytes_read: int = 0
+    write_calls: int = 0
+    bytes_written: int = 0
+
+    def record_read(self, *, pages_read: int, pages_hit: int, nbytes: int) -> None:
+        """Account one logical read of ``nbytes`` touching pages."""
+        self.read_calls += 1
+        self.pages_read += pages_read
+        self.pages_hit += pages_hit
+        self.bytes_read += nbytes
+
+    def record_write(self, nbytes: int) -> None:
+        """Account one write of ``nbytes``."""
+        self.write_calls += 1
+        self.bytes_written += nbytes
+
+    def snapshot(self) -> "IOStats":
+        """An immutable-by-convention copy of the current counters."""
+        return IOStats(
+            read_calls=self.read_calls,
+            pages_read=self.pages_read,
+            pages_hit=self.pages_hit,
+            bytes_read=self.bytes_read,
+            write_calls=self.write_calls,
+            bytes_written=self.bytes_written,
+        )
+
+    def delta(self, since: "IOStats") -> "IOStats":
+        """Counters accumulated since a :meth:`snapshot`."""
+        return IOStats(
+            read_calls=self.read_calls - since.read_calls,
+            pages_read=self.pages_read - since.pages_read,
+            pages_hit=self.pages_hit - since.pages_hit,
+            bytes_read=self.bytes_read - since.bytes_read,
+            write_calls=self.write_calls - since.write_calls,
+            bytes_written=self.bytes_written - since.bytes_written,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.read_calls = 0
+        self.pages_read = 0
+        self.pages_hit = 0
+        self.bytes_read = 0
+        self.write_calls = 0
+        self.bytes_written = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer-pool hit ratio over all page touches (0 when idle)."""
+        touched = self.pages_read + self.pages_hit
+        return self.pages_hit / touched if touched else 0.0

@@ -1,0 +1,235 @@
+"""Named-segment container file.
+
+Both index formats (RR and IRR) persist a set of named byte segments — per
+keyword: the RR-set region, the inverted-list region, partition tables,
+first-occurrence maps.  This module provides the container:
+
+```
++--------------------------------------------------------------+
+| magic "KBTIMSEG" | version u16 | reserved u16                 |
+| segment payloads, back to back                                |
+| TOC: n u32, then per segment:                                 |
+|   name_len u16 | name utf-8 | offset u64 | length u64 | crc32 |
+| TOC offset u64 | TOC crc32 u32                                |
++--------------------------------------------------------------+
+```
+
+Writers stream segments sequentially (index construction is append-only);
+readers memory-map nothing and fetch byte ranges through a
+:class:`~repro.storage.pager.PagedFile`, so every access is accounted.
+Per-segment CRCs catch torn writes and give
+:class:`~repro.errors.CorruptIndexError` a concrete meaning.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import CorruptIndexError, StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool, PagedFile
+
+__all__ = ["SegmentWriter", "SegmentReader", "SegmentInfo"]
+
+PathLike = Union[str, os.PathLike]
+
+_MAGIC = b"KBTIMSEG"
+_VERSION = 1
+_HEADER = struct.Struct("<8sHH")
+_TOC_ENTRY = struct.Struct("<QQI")
+_FOOTER = struct.Struct("<QI")
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Table-of-contents entry for one segment."""
+
+    name: str
+    offset: int
+    length: int
+    crc32: int
+
+
+class SegmentWriter:
+    """Sequentially writes named segments and finalises the TOC.
+
+    Usage::
+
+        with SegmentWriter(path) as writer:
+            writer.add("rr/music", rr_bytes)
+            writer.add("inv/music", inv_bytes)
+    """
+
+    def __init__(self, path: PathLike, *, stats: Optional[IOStats] = None) -> None:
+        self.path = os.fspath(path)
+        self.stats = stats if stats is not None else IOStats()
+        self._fh = open(self.path, "wb")
+        header = _HEADER.pack(_MAGIC, _VERSION, 0)
+        self._fh.write(header)
+        self.stats.record_write(len(header))
+        self._segments: List[SegmentInfo] = []
+        self._names: Dict[str, int] = {}
+        self._offset = _HEADER.size
+        self._finalized = False
+
+    def add(self, name: str, payload: bytes) -> None:
+        """Append one segment; names must be unique non-empty strings."""
+        if self._finalized:
+            raise StorageError("cannot add segments after finalize()")
+        if not name:
+            raise StorageError("segment name must be non-empty")
+        if name in self._names:
+            raise StorageError(f"duplicate segment name {name!r}")
+        self._fh.write(payload)
+        self.stats.record_write(len(payload))
+        info = SegmentInfo(
+            name=name,
+            offset=self._offset,
+            length=len(payload),
+            crc32=zlib.crc32(payload),
+        )
+        self._names[name] = len(self._segments)
+        self._segments.append(info)
+        self._offset += len(payload)
+
+    def finalize(self) -> None:
+        """Write TOC + footer and close the file (idempotent)."""
+        if self._finalized:
+            return
+        toc = bytearray()
+        toc += struct.pack("<I", len(self._segments))
+        for info in self._segments:
+            name_bytes = info.name.encode("utf-8")
+            toc += struct.pack("<H", len(name_bytes))
+            toc += name_bytes
+            toc += _TOC_ENTRY.pack(info.offset, info.length, info.crc32)
+        toc_offset = self._offset
+        footer = _FOOTER.pack(toc_offset, zlib.crc32(bytes(toc)))
+        self._fh.write(bytes(toc))
+        self._fh.write(footer)
+        self.stats.record_write(len(toc) + len(footer))
+        self._fh.close()
+        self._finalized = True
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        if exc_type is None:
+            self.finalize()
+        else:  # leave a partial file only on error paths; close the handle
+            self._fh.close()
+
+
+class SegmentReader:
+    """Random access to segments through an accounted, paged file."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        stats: Optional[IOStats] = None,
+        pool: Optional[BufferPool] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        verify: bool = False,
+    ) -> None:
+        self.stats = stats if stats is not None else IOStats()
+        self._file = PagedFile(path, stats=self.stats, pool=pool, page_size=page_size)
+        self._segments = self._load_toc()
+        if verify:
+            for name in self._segments:
+                self.read(name)
+
+    # ------------------------------------------------------------------
+    def _load_toc(self) -> Dict[str, SegmentInfo]:
+        f = self._file
+        if f.size < _HEADER.size + _FOOTER.size:
+            raise CorruptIndexError(f"{f.path}: file too small to be an index")
+        magic, version, _reserved = _HEADER.unpack(f.read(0, _HEADER.size))
+        if magic != _MAGIC:
+            raise CorruptIndexError(f"{f.path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise CorruptIndexError(
+                f"{f.path}: unsupported format version {version}"
+            )
+        toc_offset, toc_crc = _FOOTER.unpack(
+            f.read(f.size - _FOOTER.size, _FOOTER.size)
+        )
+        if not _HEADER.size <= toc_offset <= f.size - _FOOTER.size:
+            raise CorruptIndexError(f"{f.path}: TOC offset out of bounds")
+        toc = f.read(toc_offset, f.size - _FOOTER.size - toc_offset)
+        if zlib.crc32(toc) != toc_crc:
+            raise CorruptIndexError(f"{f.path}: TOC checksum mismatch")
+
+        segments: Dict[str, SegmentInfo] = {}
+        (count,) = struct.unpack_from("<I", toc, 0)
+        pos = 4
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", toc, pos)
+            pos += 2
+            name = toc[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            offset, length, crc = _TOC_ENTRY.unpack_from(toc, pos)
+            pos += _TOC_ENTRY.size
+            if offset + length > toc_offset:
+                raise CorruptIndexError(
+                    f"{f.path}: segment {name!r} exceeds data region"
+                )
+            segments[name] = SegmentInfo(name, offset, length, crc)
+        return segments
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """All segment names in file order."""
+        return sorted(self._segments, key=lambda n: self._segments[n].offset)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._segments
+
+    def info(self, name: str) -> SegmentInfo:
+        """TOC entry for ``name``."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise CorruptIndexError(
+                f"{self._file.path}: missing segment {name!r}"
+            ) from None
+
+    def read(self, name: str) -> bytes:
+        """Read a full segment (one logical I/O) and verify its CRC."""
+        info = self.info(name)
+        payload = self._file.read(info.offset, info.length)
+        if zlib.crc32(payload) != info.crc32:
+            raise CorruptIndexError(
+                f"{self._file.path}: segment {name!r} checksum mismatch"
+            )
+        return payload
+
+    def read_range(self, name: str, start: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``start`` *within* a segment.
+
+        Partial reads skip CRC verification by necessity (the checksum
+        covers the whole segment); the record formats carry their own
+        structural validation.
+        """
+        info = self.info(name)
+        if start < 0 or length < 0 or start + length > info.length:
+            raise StorageError(
+                f"range [{start}, {start + length}) outside segment "
+                f"{name!r} of length {info.length}"
+            )
+        return self._file.read(info.offset + start, length)
+
+    def close(self) -> None:
+        """Release the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,81 @@
+"""LEB128 unsigned varints.
+
+The workhorse byte coding for the index formats: list lengths, deltas and
+small headers are all varints.  Values must be non-negative (the index
+stores ids and gaps, never signed values).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.errors import StorageError
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_varints",
+    "decode_varints",
+]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode one non-negative integer as LEB128."""
+    if value < 0:
+        raise StorageError(f"varints encode non-negative values, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one varint at ``offset``; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise StorageError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise StorageError("varint exceeds 64 bits")
+
+
+def encode_varints(values: Iterable[int]) -> bytes:
+    """Encode a sequence of non-negative integers back to back."""
+    out = bytearray()
+    for value in values:
+        if value < 0:
+            raise StorageError(f"varints encode non-negative values, got {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def decode_varints(data: bytes, count: int, offset: int = 0) -> Tuple[List[int], int]:
+    """Decode exactly ``count`` varints; returns ``(values, next_offset)``."""
+    if count < 0:
+        raise StorageError(f"count must be >= 0, got {count}")
+    values: List[int] = []
+    pos = offset
+    for _ in range(count):
+        value, pos = decode_varint(data, pos)
+        values.append(value)
+    return values, pos

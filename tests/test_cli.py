@@ -1,0 +1,226 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_files(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    graph = str(tmp / "g.npz")
+    profiles = str(tmp / "p.npz")
+    code = main(
+        [
+            "generate",
+            "--family",
+            "twitter",
+            "--n",
+            "200",
+            "--topics",
+            "6",
+            "--seed",
+            "3",
+            "--graph-out",
+            graph,
+            "--profiles-out",
+            profiles,
+        ]
+    )
+    assert code == 0
+    return graph, profiles
+
+
+@pytest.fixture(scope="module")
+def rr_index(dataset_files, tmp_path_factory):
+    graph, profiles = dataset_files
+    path = str(tmp_path_factory.mktemp("cli-idx") / "t.rr")
+    code = main(
+        [
+            "build-index",
+            "--graph",
+            graph,
+            "--profiles",
+            profiles,
+            "--out",
+            path,
+            "--kind",
+            "rr",
+            "--epsilon",
+            "1.0",
+            "--cap",
+            "150",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table6"])
+        assert args.name == "table6" and args.scale == "smoke"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestGenerate(object):
+    def test_files_created(self, dataset_files):
+        graph, profiles = dataset_files
+        assert os.path.exists(graph) and os.path.exists(profiles)
+
+
+class TestBuildAndQuery:
+    def test_rr_query_text(self, rr_index, capsys):
+        code = main(
+            ["query", "--index", rr_index, "--keywords", "music,book", "--k", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeds:" in out and "estimated targeted influence" in out
+
+    def test_rr_query_json(self, rr_index, capsys):
+        code = main(
+            [
+                "query",
+                "--index",
+                rr_index,
+                "--keywords",
+                "music",
+                "--k",
+                "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["seeds"]) == 3
+        assert payload["theta"] > 0
+
+    def test_irr_kind(self, dataset_files, tmp_path, capsys):
+        graph, profiles = dataset_files
+        path = str(tmp_path / "t.irr")
+        assert (
+            main(
+                [
+                    "build-index",
+                    "--graph",
+                    graph,
+                    "--profiles",
+                    profiles,
+                    "--out",
+                    path,
+                    "--kind",
+                    "irr",
+                    "--delta",
+                    "25",
+                    "--epsilon",
+                    "1.0",
+                    "--cap",
+                    "150",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert main(["query", "--index", path, "--keywords", "music", "--k", "2"]) == 0
+
+    def test_lt_model_build(self, dataset_files, tmp_path):
+        graph, profiles = dataset_files
+        path = str(tmp_path / "lt.rr")
+        code = main(
+            [
+                "build-index",
+                "--graph",
+                graph,
+                "--profiles",
+                profiles,
+                "--out",
+                path,
+                "--model",
+                "lt",
+                "--epsilon",
+                "1.0",
+                "--cap",
+                "100",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_keyword_is_clean_error(self, rr_index, capsys):
+        code = main(
+            ["query", "--index", rr_index, "--keywords", "quantum", "--k", "2"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, capsys):
+        code = main(["query", "--index", "/nope/missing.rr", "--keywords", "a", "--k", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInspect:
+    def test_catalog_printed(self, rr_index, capsys):
+        assert main(["inspect", "--index", rr_index]) == 0
+        out = capsys.readouterr().out
+        assert "RR index" in out and "theta_w" in out and "music" in out
+
+
+class TestExperiment:
+    def test_table2_smoke(self, capsys, tmp_path):
+        csv_path = str(tmp_path / "t2.csv")
+        code = main(["experiment", "table2", "--scale", "smoke", "--csv", csv_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert os.path.exists(csv_path)
+
+
+class TestVerifyAndExtract:
+    def test_verify_clean_index(self, rr_index, capsys):
+        assert main(["verify", "--index", rr_index]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_shallow(self, rr_index, capsys):
+        assert main(["verify", "--index", rr_index, "--shallow"]) == 0
+
+    def test_verify_corrupt_is_clean_error(self, rr_index, tmp_path, capsys):
+        data = bytearray(open(rr_index, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        broken = str(tmp_path / "broken.rr")
+        open(broken, "wb").write(bytes(data))
+        assert main(["verify", "--index", broken]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_extract_then_query(self, rr_index, tmp_path, capsys):
+        out = str(tmp_path / "subset.rr")
+        assert (
+            main(["extract", "--index", rr_index, "--out", out, "--keywords", "music"])
+            == 0
+        )
+        assert main(["query", "--index", out, "--keywords", "music", "--k", "2"]) == 0
+
+    def test_extract_unknown_keyword(self, rr_index, tmp_path, capsys):
+        out = str(tmp_path / "x.rr")
+        assert (
+            main(
+                ["extract", "--index", rr_index, "--out", out, "--keywords", "quantum"]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Tests for OPT lower-bound estimation (repro.core.estimation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import (
+    deterministic_opt_floor,
+    estimate_opt_lower_bound,
+)
+from repro.errors import EstimationError
+from repro.propagation.exact import exact_optimal_seed_set
+from repro.propagation.ic import IndependentCascade
+
+
+class TestDeterministicFloor:
+    def test_top_k_sum(self):
+        weights = np.array([0.1, 0.9, 0.0, 0.5])
+        assert deterministic_opt_floor(weights, 1) == pytest.approx(0.9)
+        assert deterministic_opt_floor(weights, 2) == pytest.approx(1.4)
+
+    def test_k_beyond_positive_entries(self):
+        weights = np.array([0.2, 0.0])
+        assert deterministic_opt_floor(weights, 5) == pytest.approx(0.2)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(EstimationError):
+            deterministic_opt_floor(np.zeros(3), 1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(EstimationError):
+            deterministic_opt_floor(np.zeros((2, 2)), 1)
+
+    def test_floor_is_valid_lower_bound(self, fig1_graph):
+        # On the Figure 1 graph, OPT_k >= sum of top-k weights, exactly.
+        weights = np.array([0.5, 0.6, 0.5, 0.3, 0.5, 0.2, 0.0])
+        for k in (1, 2, 3):
+            floor = deterministic_opt_floor(weights, k)
+            _seeds, opt = exact_optimal_seed_set(fig1_graph, k, weights)
+            assert floor <= opt + 1e-12
+
+
+class TestSampledEstimate:
+    def test_lower_bound_below_true_opt(self, fig1_graph):
+        """The estimate must stay below the brute-force OPT (that is its job)."""
+        model = IndependentCascade(fig1_graph)
+        weights = np.array([0.5, 0.6, 0.5, 0.3, 0.5, 0.2, 0.0])
+        users = np.nonzero(weights)[0]
+        probs = weights[users] / weights[users].sum()
+        k = 2
+        _seeds, opt = exact_optimal_seed_set(fig1_graph, k, weights)
+        estimate = estimate_opt_lower_bound(
+            model,
+            users,
+            probs,
+            float(weights.sum()),
+            weights,
+            k,
+            epsilon=0.1,
+            pilot_theta=512,
+            max_rounds=3,
+            rng=7,
+        )
+        assert 0 < estimate.lower_bound <= opt * 1.05
+
+    def test_result_fields_populated(self, fig1_graph):
+        model = IndependentCascade(fig1_graph)
+        weights = np.ones(7)
+        users = np.arange(7)
+        probs = weights / weights.sum()
+        estimate = estimate_opt_lower_bound(
+            model, users, probs, 7.0, weights, 2, rng=8
+        )
+        assert estimate.pilot_samples >= 256
+        assert estimate.sampled_estimate is not None
+        assert estimate.deterministic_floor == pytest.approx(2.0)
+        assert estimate.lower_bound >= estimate.deterministic_floor
+
+    def test_deterministic_with_seed(self, fig1_graph):
+        model = IndependentCascade(fig1_graph)
+        weights = np.ones(7)
+        users = np.arange(7)
+        probs = weights / 7.0
+        a = estimate_opt_lower_bound(model, users, probs, 7.0, weights, 2, rng=9)
+        b = estimate_opt_lower_bound(model, users, probs, 7.0, weights, 2, rng=9)
+        assert a.lower_bound == b.lower_bound
+
+    def test_validation(self, fig1_graph):
+        model = IndependentCascade(fig1_graph)
+        weights = np.ones(7)
+        users = np.arange(7)
+        probs = weights / 7.0
+        with pytest.raises(ValueError):
+            estimate_opt_lower_bound(
+                model, users, probs, 0.0, weights, 2
+            )
+        with pytest.raises(ValueError):
+            estimate_opt_lower_bound(
+                model, users, probs, 7.0, weights, 2, pilot_theta=0
+            )
+
+    def test_larger_graph_estimate_positive(self, small_world):
+        graph, _topics, profiles, model = small_world
+        users, probs = profiles.sampling_distribution(0)
+        weights = np.zeros(graph.n)
+        weights[users] = profiles.users_of(0)[1]
+        estimate = estimate_opt_lower_bound(
+            model, users, probs, profiles.tf_sum(0), weights, 10, rng=10
+        )
+        assert estimate.lower_bound > 0

@@ -1,0 +1,118 @@
+"""Tests for index maintenance utilities (repro.core.maintenance)."""
+
+import pytest
+
+from repro.core.irr_index import IRRIndexBuilder
+from repro.core.maintenance import extract_keywords, verify_index
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
+from repro.core.theta import ThetaPolicy
+from repro.errors import CorruptIndexError, IndexError_
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    from repro.graph.generators import twitter_like
+    from repro.profiles.generators import zipf_profiles
+    from repro.profiles.topics import TopicSpace
+    from repro.propagation.ic import IndependentCascade
+
+    graph = twitter_like(200, avg_degree=8, rng=81)
+    profiles = zipf_profiles(graph.n, TopicSpace.default(6), rng=82)
+    model = IndependentCascade(graph)
+    policy = ThetaPolicy(epsilon=1.0, K=20, cap=120)
+    tmp = tmp_path_factory.mktemp("maint")
+    rr_path = str(tmp / "m.rr")
+    irr_path = str(tmp / "m.irr")
+    builder = RRIndexBuilder(model, profiles, policy=policy, rng=83)
+    tables = builder.sample()
+    builder.build(rr_path, tables=tables)
+    IRRIndexBuilder(model, profiles, policy=policy, delta=15, rng=83).build(
+        irr_path, tables=tables
+    )
+    return rr_path, irr_path
+
+
+class TestExtractKeywords:
+    def test_extracted_index_queries_identically(self, built, tmp_path):
+        rr_path, _ = built
+        out = str(tmp_path / "subset.rr")
+        extracted = extract_keywords(rr_path, out, ["music", "book"])
+        assert extracted == ["music", "book"]
+        query = KBTIMQuery(("music", "book"), 5)
+        with RRIndex(rr_path) as full, RRIndex(out) as subset:
+            a = full.query(query)
+            b = subset.query(query)
+        assert a.seeds == b.seeds
+        assert a.marginal_coverages == b.marginal_coverages
+
+    def test_subset_smaller_on_disk(self, built, tmp_path):
+        import os
+
+        rr_path, _ = built
+        out = str(tmp_path / "one.rr")
+        extract_keywords(rr_path, out, ["music"])
+        assert os.path.getsize(out) < os.path.getsize(rr_path)
+
+    def test_subset_catalog_shrinks(self, built, tmp_path):
+        rr_path, _ = built
+        out = str(tmp_path / "two.rr")
+        extract_keywords(rr_path, out, ["music", "car"])
+        with RRIndex(out) as subset:
+            assert set(subset.keywords()) == {"music", "car"}
+
+    def test_unknown_keyword_rejected(self, built, tmp_path):
+        rr_path, _ = built
+        with pytest.raises(IndexError_, match="not in index"):
+            extract_keywords(rr_path, str(tmp_path / "x.rr"), ["quantum"])
+
+    def test_empty_request_rejected(self, built, tmp_path):
+        rr_path, _ = built
+        with pytest.raises(IndexError_):
+            extract_keywords(rr_path, str(tmp_path / "x.rr"), [])
+
+    def test_irr_source_rejected(self, built, tmp_path):
+        _, irr_path = built
+        with pytest.raises(CorruptIndexError):
+            extract_keywords(irr_path, str(tmp_path / "x.rr"), ["music"])
+
+    def test_duplicates_deduped(self, built, tmp_path):
+        rr_path, _ = built
+        out = str(tmp_path / "dup.rr")
+        assert extract_keywords(rr_path, out, ["music", "music"]) == ["music"]
+
+
+class TestVerifyIndex:
+    def test_rr_index_verifies(self, built):
+        rr_path, _ = built
+        report = verify_index(rr_path)
+        assert report.format == "rr-index"
+        assert report.keywords_checked >= 1
+        assert report.rr_sets_checked > 0
+        assert "OK" in str(report)
+
+    def test_irr_index_verifies(self, built):
+        _, irr_path = built
+        report = verify_index(irr_path)
+        assert report.format == "irr-index"
+        assert report.rr_sets_checked > 0
+
+    def test_shallow_mode(self, built):
+        rr_path, irr_path = built
+        assert verify_index(rr_path, deep=False).rr_sets_checked == 0
+        assert verify_index(irr_path, deep=False).rr_sets_checked == 0
+
+    def test_extracted_subset_verifies(self, built, tmp_path):
+        rr_path, _ = built
+        out = str(tmp_path / "v.rr")
+        extract_keywords(rr_path, out, ["music"])
+        assert verify_index(out).keywords_checked == 1
+
+    def test_corruption_detected(self, built, tmp_path):
+        rr_path, _ = built
+        data = bytearray(open(rr_path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        broken = str(tmp_path / "broken.rr")
+        open(broken, "wb").write(bytes(data))
+        with pytest.raises(CorruptIndexError):
+            verify_index(broken)

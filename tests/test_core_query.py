@@ -1,0 +1,52 @@
+"""Tests for the KB-TIM query type (repro.core.query)."""
+
+import pytest
+
+from repro.core.query import KBTIMQuery
+from repro.errors import QueryError
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = KBTIMQuery(["music", "book"], 5)
+        assert q.keywords == ("music", "book")
+        assert q.k == 5
+        assert q.n_keywords == 2
+
+    def test_accepts_topic_ids(self):
+        q = KBTIMQuery([0, 3], 2)
+        assert q.keywords == (0, 3)
+
+    def test_rejects_empty_keywords(self):
+        with pytest.raises(QueryError):
+            KBTIMQuery([], 5)
+
+    def test_rejects_duplicate_keywords(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            KBTIMQuery(["music", "music"], 5)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(QueryError):
+            KBTIMQuery(["music"], 0)
+
+    def test_rejects_non_int_k(self):
+        with pytest.raises(QueryError):
+            KBTIMQuery(["music"], 2.5)  # type: ignore[arg-type]
+        with pytest.raises(QueryError):
+            KBTIMQuery(["music"], True)  # type: ignore[arg-type]
+
+    def test_rejects_bad_keyword_type(self):
+        with pytest.raises(QueryError):
+            KBTIMQuery([None], 2)  # type: ignore[list-item]
+
+    def test_frozen(self):
+        q = KBTIMQuery(["music"], 1)
+        with pytest.raises(AttributeError):
+            q.k = 3  # type: ignore[misc]
+
+    def test_repr(self):
+        assert "music" in repr(KBTIMQuery(["music"], 1))
+
+    def test_equality(self):
+        assert KBTIMQuery(["a"], 1) == KBTIMQuery(["a"], 1)
+        assert KBTIMQuery(["a"], 1) != KBTIMQuery(["a"], 2)

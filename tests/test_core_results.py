@@ -1,0 +1,52 @@
+"""Tests for result types (repro.core.results)."""
+
+import pytest
+
+from repro.core.results import QueryStats, SeedSelection
+from repro.storage.iostats import IOStats
+
+
+def make_selection(**overrides):
+    defaults = dict(
+        seeds=(3, 1, 7),
+        marginal_coverages=(10, 5, 2),
+        theta=100,
+        phi_q=50.0,
+        stats=QueryStats(),
+    )
+    defaults.update(overrides)
+    return SeedSelection(**defaults)
+
+
+class TestSeedSelection:
+    def test_estimated_influence_lemma1(self):
+        selection = make_selection()
+        # F/θ · φ_Q = 17/100 · 50
+        assert selection.estimated_influence == pytest.approx(8.5)
+
+    def test_coverage_sum(self):
+        assert make_selection().coverage == 17
+
+    def test_zero_theta_safe(self):
+        selection = make_selection(theta=0, marginal_coverages=())
+        assert selection.estimated_influence == 0.0
+
+    def test_frozen(self):
+        selection = make_selection()
+        with pytest.raises(AttributeError):
+            selection.theta = 5  # type: ignore[misc]
+
+    def test_repr_mentions_seeds(self):
+        assert "[3, 1, 7]" in repr(make_selection())
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.rr_sets_loaded == 0
+        assert isinstance(stats.io, IOStats)
+
+    def test_independent_io_instances(self):
+        a, b = QueryStats(), QueryStats()
+        a.io.record_read(pages_read=1, pages_hit=0, nbytes=10)
+        assert b.io.pages_read == 0

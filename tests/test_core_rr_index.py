@@ -1,0 +1,249 @@
+"""Tests for the disk RR index (repro.core.rr_index) — Algorithms 1-2."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.offline import sample_keyword_tables
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import (
+    RRIndex,
+    RRIndexBuilder,
+    plan_theta_q,
+    build_keyword_meta,
+)
+from repro.core.theta import ThetaPolicy
+from repro.core.wris import wris_query
+from repro.errors import CorruptIndexError, IndexError_, QueryError
+from repro.storage.compression import Codec
+from repro.storage.segments import SegmentWriter
+
+
+@pytest.fixture(scope="module")
+def world(small_world_module):
+    return small_world_module
+
+
+@pytest.fixture(scope="module")
+def small_world_module():
+    # Rebuild the session fixture at module scope for index reuse.
+    from repro.graph.generators import twitter_like
+    from repro.profiles.generators import zipf_profiles
+    from repro.profiles.topics import TopicSpace
+    from repro.propagation.ic import IndependentCascade
+
+    graph = twitter_like(300, avg_degree=8, rng=42)
+    topics = TopicSpace.default(8)
+    profiles = zipf_profiles(graph.n, topics, rng=44)
+    return graph, topics, profiles, IndependentCascade(graph)
+
+
+@pytest.fixture(scope="module")
+def built_index(world, tmp_path_factory):
+    graph, _topics, profiles, model = world
+    path = str(tmp_path_factory.mktemp("rr") / "index.rr")
+    builder = RRIndexBuilder(
+        model, profiles, policy=ThetaPolicy(epsilon=1.0, K=50, cap=300), rng=5
+    )
+    report = builder.build(path)
+    return path, report
+
+
+class TestBuild:
+    def test_report_fields(self, built_index):
+        _path, report = built_index
+        assert report.file_bytes > 0
+        assert report.seconds > 0
+        assert report.theta_total >= len(report.keywords)
+        assert report.mean_rr_set_size > 0
+
+    def test_skips_keywords_without_users(self, world, tmp_path):
+        graph, _topics, profiles, model = world
+        # All 8 default topics have users under the zipf generator; the
+        # builder must index exactly those with df > 0.
+        builder = RRIndexBuilder(
+            model, profiles, policy=ThetaPolicy(epsilon=1.0, K=50, cap=100), rng=6
+        )
+        report = builder.build(str(tmp_path / "x.rr"))
+        assert set(report.keywords) == {
+            profiles.topics.name(t)
+            for t in range(profiles.topics.size)
+            if profiles.df(t) > 0
+        }
+
+    def test_theta_hat_variant_larger(self, world, tmp_path):
+        graph, _topics, profiles, model = world
+        policy = ThetaPolicy(epsilon=2.0, K=20, cap=None)
+        std = RRIndexBuilder(model, profiles, policy=policy, rng=7).build(
+            str(tmp_path / "std.rr")
+        )
+        hat = RRIndexBuilder(
+            model, profiles, policy=policy, use_theta_hat=True, rng=7
+        ).build(str(tmp_path / "hat.rr"))
+        assert hat.theta_total > std.theta_total
+        assert hat.file_bytes > std.file_bytes
+
+
+class TestOpen:
+    def test_catalog_contents(self, built_index, world):
+        path, report = built_index
+        _g, _t, profiles, _m = world
+        with RRIndex(path) as index:
+            assert set(index.keywords()) == set(report.keywords)
+            meta = index.catalog["music"]
+            assert meta.theta == meta.n_sets
+            assert meta.tf_sum == pytest.approx(profiles.tf_sum("music"))
+            assert meta.phi_w == pytest.approx(profiles.phi_w("music"))
+
+    def test_rejects_non_rr_file(self, tmp_path):
+        path = str(tmp_path / "other.idx")
+        with SegmentWriter(path) as writer:
+            writer.add("meta", json.dumps({"format": "something-else"}).encode())
+        with pytest.raises(CorruptIndexError, match="not an RR index"):
+            RRIndex(path)
+
+
+class TestLoads:
+    def test_prefix_load_counts(self, built_index):
+        path, _report = built_index
+        with RRIndex(path) as index:
+            sets = index.load_rr_prefix("music", 10)
+            assert len(sets) == 10
+            for rr in sets:
+                assert np.all(np.diff(rr) > 0)
+
+    def test_prefix_beyond_stored_rejected(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            theta = index.catalog["music"].n_sets
+            with pytest.raises(IndexError_):
+                index.load_rr_prefix("music", theta + 1)
+
+    def test_unknown_keyword_rejected(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            with pytest.raises(IndexError_):
+                index.load_rr_prefix("nope", 1)
+            with pytest.raises(IndexError_):
+                index.load_inverted_lists("nope")
+
+    def test_inverted_lists_consistent_with_sets(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            theta = index.catalog["music"].n_sets
+            sets = index.load_rr_prefix("music", theta)
+            lists = index.load_inverted_lists("music")
+            rebuilt = {}
+            for set_id, rr in enumerate(sets):
+                for v in rr:
+                    rebuilt.setdefault(int(v), []).append(set_id)
+            assert len(lists) == len(rebuilt)
+            for vertex, ids in lists:
+                assert rebuilt[vertex] == ids.tolist()
+
+    def test_prefix_read_is_bounded(self, built_index):
+        """Loading a small prefix must read fewer bytes than the region."""
+        path, _ = built_index
+        with RRIndex(path) as index:
+            before = index.stats.snapshot()
+            index.load_rr_prefix("music", 4)
+            small = index.stats.delta(before).bytes_read
+            before = index.stats.snapshot()
+            index.load_rr_prefix("music", index.catalog["music"].n_sets)
+            full = index.stats.delta(before).bytes_read
+            assert small < full
+
+
+class TestPlanThetaQ:
+    def test_single_keyword_uses_all_sets(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            _theta_q, counts, phi_q = plan_theta_q(["music"], index.catalog)
+            assert counts["music"] == index.catalog["music"].n_sets
+            assert phi_q == pytest.approx(index.catalog["music"].phi_w)
+
+    def test_multi_keyword_counts_proportional(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            keywords = ["music", "book"]
+            theta_q, counts, phi_q = plan_theta_q(keywords, index.catalog)
+            for kw in keywords:
+                p_w = index.catalog[kw].phi_w / phi_q
+                assert counts[kw] <= index.catalog[kw].n_sets
+                assert counts[kw] == pytest.approx(theta_q * p_w, abs=1.5)
+
+    def test_argmin_keyword_fully_used(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            keywords = list(index.keywords())[:3]
+            theta_q, counts, phi_q = plan_theta_q(keywords, index.catalog)
+            ratios = {
+                kw: index.catalog[kw].theta / (index.catalog[kw].phi_w / phi_q)
+                for kw in keywords
+            }
+            tightest = min(ratios, key=ratios.get)
+            assert counts[tightest] == index.catalog[tightest].n_sets
+
+    def test_unknown_keyword(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            with pytest.raises(IndexError_):
+                plan_theta_q(["nope"], index.catalog)
+
+
+class TestQuery:
+    def test_returns_k_seeds(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            answer = index.query(KBTIMQuery(["music", "book"], 5))
+            assert len(answer.seeds) == 5
+            assert answer.theta > 0
+            assert answer.stats.rr_sets_loaded == answer.theta
+
+    def test_two_reads_per_keyword(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            answer = index.query(KBTIMQuery(["music", "book", "sport"], 3))
+            # one RR-prefix read + one inverted-list read per keyword
+            assert answer.stats.io.read_calls == 2 * 3
+
+    def test_k_above_K_rejected(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            with pytest.raises(QueryError):
+                index.query(KBTIMQuery(["music"], 51))
+
+    def test_repeated_query_deterministic(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            q = KBTIMQuery(["music", "car"], 4)
+            a = index.query(q)
+            b = index.query(q)
+            assert a.seeds == b.seeds
+            assert a.marginal_coverages == b.marginal_coverages
+
+    def test_quality_close_to_online_wris(self, built_index, world):
+        """The index must not lose quality versus online WRIS."""
+        _g, _t, profiles, model = world
+        path, _ = built_index
+        query = KBTIMQuery(["music", "book"], 5)
+        with RRIndex(path) as index:
+            offline = index.query(query)
+        online = wris_query(
+            model,
+            profiles,
+            query,
+            policy=ThetaPolicy(epsilon=1.0, K=50, cap=300),
+            rng=8,
+        )
+        from repro.propagation.simulate import estimate_spread
+
+        weights = profiles.phi_vector(query.keywords)
+        off_spread = estimate_spread(
+            model, offline.seeds, n_samples=400, weights=weights, rng=9
+        ).mean
+        on_spread = estimate_spread(
+            model, online.seeds, n_samples=400, weights=weights, rng=9
+        ).mean
+        assert off_spread >= 0.8 * on_spread

@@ -1,0 +1,111 @@
+"""Tests for the query server (repro.core.server)."""
+
+import pytest
+
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
+from repro.core.server import KBTIMServer
+from repro.core.theta import ThetaPolicy
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def index_path(tmp_path_factory):
+    from repro.graph.generators import twitter_like
+    from repro.profiles.generators import zipf_profiles
+    from repro.profiles.topics import TopicSpace
+    from repro.propagation.ic import IndependentCascade
+
+    graph = twitter_like(250, avg_degree=8, rng=71)
+    profiles = zipf_profiles(graph.n, TopicSpace.default(6), rng=72)
+    model = IndependentCascade(graph)
+    path = str(tmp_path_factory.mktemp("server") / "s.rr")
+    RRIndexBuilder(
+        model, profiles, policy=ThetaPolicy(epsilon=1.0, K=30, cap=200), rng=73
+    ).build(path)
+    return path
+
+
+@pytest.fixture()
+def server(index_path):
+    with KBTIMServer(RRIndex(index_path), cache_keywords=4) as srv:
+        yield srv
+
+
+class TestCorrectness:
+    def test_matches_direct_index_query(self, index_path, server):
+        queries = [
+            KBTIMQuery(("music",), 3),
+            KBTIMQuery(("music", "book"), 5),
+            KBTIMQuery(("journal", "car", "software"), 10),
+        ]
+        with RRIndex(index_path) as direct:
+            for query in queries:
+                a = direct.query(query)
+                b = server.query(query)
+                assert a.seeds == b.seeds
+                assert a.marginal_coverages == b.marginal_coverages
+                assert a.theta == b.theta
+                assert a.phi_q == pytest.approx(b.phi_q)
+
+    def test_repeat_query_identical(self, server):
+        q = KBTIMQuery(("music", "book"), 4)
+        assert server.query(q).seeds == server.query(q).seeds
+
+    def test_k_above_K_rejected(self, server):
+        with pytest.raises(QueryError):
+            server.query(KBTIMQuery(("music",), 31))
+
+    def test_unknown_keyword_rejected(self, server):
+        with pytest.raises(Exception):
+            server.query(KBTIMQuery(("quantum",), 2))
+
+
+class TestCaching:
+    def test_second_query_hits_cache(self, server):
+        q = KBTIMQuery(("music", "book"), 3)
+        server.query(q)
+        misses_before = server.stats.keyword_misses
+        answer = server.query(q)
+        assert server.stats.keyword_misses == misses_before
+        assert server.stats.keyword_hits >= 2
+        # Warm queries issue zero disk reads.
+        assert answer.stats.io.read_calls == 0
+
+    def test_lru_eviction(self, server):
+        for kw in ("music", "book", "journal", "car", "software"):
+            server.query(KBTIMQuery((kw,), 2))
+        assert len(server.cached_keywords) <= 4
+        assert "music" not in server.cached_keywords  # oldest evicted
+
+    def test_warm_preloads(self, server):
+        server.evict_all()
+        server.warm(["music", "book"])
+        assert set(server.cached_keywords) == {"music", "book"}
+        misses_before = server.stats.keyword_misses
+        server.query(KBTIMQuery(("music", "book"), 2))
+        assert server.stats.keyword_misses == misses_before
+
+    def test_evict_all(self, server):
+        server.query(KBTIMQuery(("music",), 2))
+        server.evict_all()
+        assert server.cached_keywords == []
+
+
+class TestStats:
+    def test_counters_accumulate(self, server):
+        before = server.stats.queries
+        server.query(KBTIMQuery(("music",), 2))
+        server.query(KBTIMQuery(("book",), 2))
+        assert server.stats.queries == before + 2
+        assert server.stats.mean_latency > 0
+        assert server.stats.percentile_latency(95) >= server.stats.percentile_latency(5)
+
+    def test_hit_ratio_range(self, server):
+        server.query(KBTIMQuery(("music",), 2))
+        server.query(KBTIMQuery(("music",), 2))
+        assert 0.0 <= server.stats.hit_ratio <= 1.0
+
+    def test_bad_cache_size_rejected(self, index_path):
+        with pytest.raises(ValueError):
+            KBTIMServer(RRIndex(index_path), cache_keywords=0)

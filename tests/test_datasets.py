@@ -1,0 +1,105 @@
+"""Tests for dataset builders and the paper-example fixture."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.paper_example import (
+    NODE_IDS,
+    NODE_NAMES,
+    paper_example_graph,
+    paper_example_profiles,
+    paper_example_topics,
+)
+from repro.datasets.synthetic import (
+    NEWS_AVG_DEGREES,
+    NEWS_SIZES,
+    TWITTER_SIZES,
+    news_dataset,
+    twitter_dataset,
+)
+
+
+class TestPaperExample:
+    def test_node_mapping(self):
+        assert NODE_NAMES[NODE_IDS["e"]] == "e"
+        assert len(NODE_NAMES) == 7
+
+    def test_graph_shape(self):
+        g = paper_example_graph()
+        assert g.n == 7 and g.m == 7
+
+    def test_edge_probabilities(self):
+        g = paper_example_graph()
+        assert g.edge_probability(NODE_IDS["e"], NODE_IDS["a"]) == 1.0
+        assert g.edge_probability(NODE_IDS["e"], NODE_IDS["b"]) == 0.5
+        assert g.edge_probability(NODE_IDS["g"], NODE_IDS["b"]) == 0.5
+
+    def test_profiles_normalised(self):
+        store = paper_example_profiles()
+        for user in range(7):
+            _ids, tfs = store.topics_of(user)
+            assert tfs.sum() == pytest.approx(1.0)
+
+    def test_topic_space(self):
+        topics = paper_example_topics()
+        assert "music" in topics and "travel" in topics
+
+    def test_g_only_cares_about_cars(self):
+        store = paper_example_profiles()
+        ids, tfs = store.topics_of(NODE_IDS["g"])
+        assert len(ids) == 1
+        assert store.topics.name(int(ids[0])) == "car"
+        assert tfs[0] == pytest.approx(1.0)
+
+
+class TestNewsDataset:
+    def test_size_index_resolution(self):
+        ds = news_dataset(0, n_topics=6, seed=1)
+        assert ds.graph.n == NEWS_SIZES[0]
+        assert ds.profiles.n_users == ds.graph.n
+        assert ds.topics.size == 6
+
+    def test_degree_sequence_falls_with_size(self):
+        assert list(NEWS_AVG_DEGREES) == sorted(NEWS_AVG_DEGREES, reverse=True)
+
+    def test_explicit_n(self):
+        ds = news_dataset(n=123, n_topics=4, seed=2)
+        assert ds.graph.n == 123
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError):
+            news_dataset(9)
+
+    def test_deterministic(self):
+        a = news_dataset(0, n_topics=4, seed=3)
+        b = news_dataset(0, n_topics=4, seed=3)
+        assert a.graph == b.graph
+
+    def test_models_cached(self):
+        ds = news_dataset(0, n_topics=4, seed=4)
+        assert ds.ic_model is ds.ic_model
+        assert ds.lt_model is ds.lt_model
+
+
+class TestTwitterDataset:
+    def test_size_index_resolution(self):
+        ds = twitter_dataset(0, n_topics=6, seed=5)
+        assert ds.graph.n == TWITTER_SIZES[0]
+
+    def test_denser_than_news(self):
+        news = news_dataset(0, n_topics=4, seed=6)
+        twitter = twitter_dataset(0, n_topics=4, seed=6)
+        assert twitter.graph.average_degree() > news.graph.average_degree()
+
+    def test_lt_model_weights_normalised(self):
+        ds = twitter_dataset(n=200, n_topics=4, seed=7)
+        model = ds.lt_model
+        g = ds.graph
+        for v in range(0, g.n, 17):
+            start, stop = g.in_ptr[v], g.in_ptr[v + 1]
+            if stop > start:
+                assert model.weights[start:stop].sum() == pytest.approx(1.0)
+
+    def test_repr_compact(self):
+        ds = twitter_dataset(n=50, n_topics=4, seed=8)
+        assert "twitter-50" in repr(ds)

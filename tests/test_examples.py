@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts.
+
+All examples must at least compile; the fast paper walkthrough (tiny
+fixture graph, exact arithmetic) runs end to end in-process.  The
+larger scenario scripts are exercised by humans / CI jobs with looser
+time budgets.
+"""
+
+import os
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = [
+    "quickstart.py",
+    "ad_campaign.py",
+    "offline_index_pipeline.py",
+    "model_comparison.py",
+    "paper_walkthrough.py",
+]
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_compiles(self, name):
+        py_compile.compile(
+            os.path.join(EXAMPLES_DIR, name), doraise=True
+        )
+
+
+class TestPaperWalkthroughRuns:
+    def test_runs_and_asserts_paper_numbers(self, capsys):
+        """The walkthrough contains its own 4.8125 assertion."""
+        path = os.path.join(EXAMPLES_DIR, "paper_walkthrough.py")
+        runpy.run_path(path, run_name="__main__")
+        out = capsys.readouterr().out
+        assert "4.8125" in out
+        assert "{b, e}" in out or "b, e" in out

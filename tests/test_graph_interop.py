@@ -1,0 +1,68 @@
+"""Tests for networkx interoperability (repro.graph.interop)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import twitter_like
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_structure_preserved(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], probs=[0.25, 0.75])
+        nxg = to_networkx(g)
+        assert set(nxg.nodes) == {0, 1, 2}
+        assert nxg[0][1]["probability"] == pytest.approx(0.25)
+        assert nxg[1][2]["probability"] == pytest.approx(0.75)
+
+    def test_roundtrip(self):
+        g = twitter_like(120, avg_degree=6, rng=3)
+        assert from_networkx(to_networkx(g)) == g
+
+
+class TestFromNetworkx:
+    def test_relabels_arbitrary_nodes(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("alice", "bob")
+        nxg.add_edge("bob", "carol")
+        g = from_networkx(nxg)
+        assert g.n == 3 and g.m == 2
+
+    def test_default_probabilities_when_missing(self):
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from([0, 1, 2])  # pin the relabelling order
+        nxg.add_edge(0, 2)
+        nxg.add_edge(1, 2)
+        g = from_networkx(nxg)
+        assert g.edge_probability(0, 2) == pytest.approx(0.5)
+        assert g.edge_probability(1, 2) == pytest.approx(0.5)
+
+    def test_partial_probabilities_fall_back(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1, probability=0.9)
+        nxg.add_edge(1, 2)  # missing attribute
+        g = from_networkx(nxg)
+        # Mixed attributes fall back to weighted cascade for all edges.
+        assert g.edge_probability(0, 1) == pytest.approx(1.0)
+
+    def test_undirected_becomes_bidirectional(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        g = from_networkx(nxg)
+        assert g.m == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_multigraph_rejected(self):
+        nxg = nx.MultiDiGraph()
+        nxg.add_edge(0, 1)
+        nxg.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+    def test_custom_probability_key(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(0, 1, weight=0.4)
+        g = from_networkx(nxg, probability_key="weight")
+        assert g.edge_probability(0, 1) == pytest.approx(0.4)

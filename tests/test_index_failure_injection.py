@@ -1,0 +1,144 @@
+"""Failure-injection tests: corrupted and truncated index files.
+
+A disk index that silently returns wrong seeds on bit rot is worse than
+one that fails; these tests flip, truncate and transplant bytes in real
+index files and require clean :class:`~repro.errors.CorruptIndexError` /
+:class:`~repro.errors.StorageError` failures.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.irr_index import IRRIndex, IRRIndexBuilder
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
+from repro.core.theta import ThetaPolicy
+from repro.errors import CorruptIndexError, ReproError, StorageError
+from repro.graph.generators import twitter_like
+from repro.profiles.generators import zipf_profiles
+from repro.profiles.topics import TopicSpace
+from repro.propagation.ic import IndependentCascade
+from repro.storage.segments import SegmentReader, SegmentWriter
+
+
+@pytest.fixture(scope="module")
+def built(tmp_path_factory):
+    graph = twitter_like(150, avg_degree=6, rng=61)
+    profiles = zipf_profiles(graph.n, TopicSpace.default(4), rng=62)
+    model = IndependentCascade(graph)
+    policy = ThetaPolicy(epsilon=1.0, K=20, cap=100)
+    tmp = tmp_path_factory.mktemp("corrupt")
+    rr_path = str(tmp / "x.rr")
+    irr_path = str(tmp / "x.irr")
+    builder = RRIndexBuilder(model, profiles, policy=policy, rng=63)
+    tables = builder.sample()
+    builder.build(rr_path, tables=tables)
+    IRRIndexBuilder(model, profiles, policy=policy, delta=10, rng=63).build(
+        irr_path, tables=tables
+    )
+    return rr_path, irr_path
+
+
+def _copy_with_mutation(path, tmp_path, mutate):
+    data = bytearray(open(path, "rb").read())
+    mutate(data)
+    out = str(tmp_path / os.path.basename(path))
+    open(out, "wb").write(bytes(data))
+    return out
+
+
+class TestRRIndexCorruption:
+    def test_truncated_file(self, built, tmp_path):
+        rr_path, _ = built
+        out = _copy_with_mutation(rr_path, tmp_path, lambda d: d.__delitem__(slice(-64, None)))
+        with pytest.raises((CorruptIndexError, StorageError)):
+            RRIndex(out)
+
+    def test_flipped_magic(self, built, tmp_path):
+        rr_path, _ = built
+        out = _copy_with_mutation(rr_path, tmp_path, lambda d: d.__setitem__(0, d[0] ^ 0xFF))
+        with pytest.raises(CorruptIndexError):
+            RRIndex(out)
+
+    def test_meta_segment_corruption_detected(self, built, tmp_path):
+        """Flipping a byte inside the meta JSON must not parse silently."""
+        rr_path, _ = built
+        with SegmentReader(rr_path) as reader:
+            info = reader.info("meta")
+        out = _copy_with_mutation(
+            rr_path,
+            tmp_path,
+            lambda d: d.__setitem__(info.offset + 2, d[info.offset + 2] ^ 0xFF),
+        )
+        with pytest.raises((CorruptIndexError, ReproError, ValueError)):
+            RRIndex(out)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.rr")
+        open(path, "wb").close()
+        with pytest.raises(CorruptIndexError):
+            RRIndex(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = str(tmp_path / "wrong.rr")
+        with SegmentWriter(path) as writer:
+            writer.add("meta", json.dumps({"format": "irr-index"}).encode())
+        with pytest.raises(CorruptIndexError, match="not an RR index"):
+            RRIndex(path)
+
+
+class TestIRRIndexCorruption:
+    def test_rr_file_rejected_by_irr_reader(self, built):
+        rr_path, _ = built
+        with pytest.raises(CorruptIndexError, match="not an IRR index"):
+            IRRIndex(rr_path)
+
+    def test_irr_file_rejected_by_rr_reader(self, built):
+        _, irr_path = built
+        with pytest.raises(CorruptIndexError, match="not an RR index"):
+            RRIndex(irr_path)
+
+    def test_truncated_irr(self, built, tmp_path):
+        _, irr_path = built
+        out = _copy_with_mutation(
+            irr_path, tmp_path, lambda d: d.__delitem__(slice(len(d) // 2, None))
+        )
+        with pytest.raises((CorruptIndexError, StorageError)):
+            IRRIndex(out)
+
+    def test_payload_corruption_surfaces_on_query(self, built, tmp_path):
+        """Damage inside a data segment must fail the query, not corrupt it."""
+        _, irr_path = built
+        with SegmentReader(irr_path) as reader:
+            # Pick the largest data segment to hit payload bytes.
+            name = max(
+                (n for n in reader.names() if n != "meta"),
+                key=lambda n: reader.info(n).length,
+            )
+            info = reader.info(name)
+        out = _copy_with_mutation(
+            irr_path,
+            tmp_path,
+            lambda d: d.__setitem__(
+                info.offset + info.length // 2,
+                d[info.offset + info.length // 2] ^ 0xFF,
+            ),
+        )
+        index = IRRIndex(out)
+        with pytest.raises((CorruptIndexError, StorageError, ReproError)):
+            # Touch every keyword so the damaged segment is reached.
+            for kw in index.keywords():
+                index.query(KBTIMQuery((kw,), 10))
+        index.close()
+
+
+class TestQueryRobustness:
+    def test_queries_after_close_fail_cleanly(self, built):
+        rr_path, _ = built
+        index = RRIndex(rr_path)
+        index.close()
+        with pytest.raises(Exception):
+            index.query(KBTIMQuery(("music",), 2))

@@ -1,0 +1,97 @@
+"""Tests for the topic space (repro.profiles.topics)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.topics import DEFAULT_TOPIC_NAMES, TopicSpace
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = TopicSpace(("music", "book"))
+        assert ts.size == 2 and len(ts) == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProfileError):
+            TopicSpace(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ProfileError):
+            TopicSpace(("a", "a"))
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ProfileError):
+            TopicSpace(("a", 3))  # type: ignore[arg-type]
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ProfileError):
+            TopicSpace(("a", ""))
+
+
+class TestDefaultSpace:
+    def test_truncation(self):
+        ts = TopicSpace.default(4)
+        assert ts.names() == DEFAULT_TOPIC_NAMES[:4]
+
+    def test_extension_beyond_builtin(self):
+        size = len(DEFAULT_TOPIC_NAMES) + 10
+        ts = TopicSpace.default(size)
+        assert ts.size == size
+        assert ts.name(size - 1).startswith("topic_")
+
+    def test_paper_200_topics(self):
+        # The paper uses 200 topics; the space must scale there.
+        ts = TopicSpace.default(200)
+        assert ts.size == 200
+        assert len(set(ts.names())) == 200
+
+    def test_rejects_zero(self):
+        with pytest.raises(ProfileError):
+            TopicSpace.default(0)
+
+
+class TestLookup:
+    @pytest.fixture()
+    def ts(self):
+        return TopicSpace(("music", "book", "car"))
+
+    def test_name_and_id(self, ts):
+        assert ts.name(1) == "book"
+        assert ts.id("book") == 1
+        assert ts.id(2) == 2
+
+    def test_unknown_name(self, ts):
+        with pytest.raises(ProfileError, match="unknown topic"):
+            ts.id("cooking")
+
+    def test_id_out_of_range(self, ts):
+        with pytest.raises(ProfileError):
+            ts.id(7)
+        with pytest.raises(ProfileError):
+            ts.name(-1)
+
+    def test_bool_not_accepted_as_id(self, ts):
+        with pytest.raises(ProfileError):
+            ts.id(True)
+
+    def test_ids_resolves_mixed_refs(self, ts):
+        assert ts.ids(["music", 2]) == [0, 2]
+
+    def test_ids_rejects_duplicates(self, ts):
+        with pytest.raises(ProfileError, match="duplicate"):
+            ts.ids(["music", 0])
+
+    def test_contains(self, ts):
+        assert "music" in ts
+        assert 2 in ts
+        assert "jazz" not in ts
+        assert 9 not in ts
+        assert None not in ts
+
+    def test_iteration_order(self, ts):
+        assert list(ts) == ["music", "book", "car"]
+
+    def test_equality_and_hash(self, ts):
+        same = TopicSpace(("music", "book", "car"))
+        assert ts == same and hash(ts) == hash(same)
+        assert ts != TopicSpace(("music",))

@@ -1,0 +1,154 @@
+"""Tests for exact live-edge enumeration — including the paper's Example 1/2.
+
+These are the ground-truth numbers everything else is validated against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.propagation.exact import (
+    exact_activation_probabilities,
+    exact_optimal_seed_set,
+    exact_spread,
+)
+
+
+class TestPaperExample:
+    """Example 1: E[I({e, g})] = 4.8125 on the Figure 1 graph."""
+
+    def test_expected_influence_matches_paper(self, fig1_graph, fig1_ids):
+        seeds = [fig1_ids["e"], fig1_ids["g"]]
+        assert exact_spread(fig1_graph, seeds) == pytest.approx(4.8125)
+
+    def test_per_node_probabilities_match_paper(self, fig1_graph, fig1_ids):
+        # Paper: 1 + 0.75 + 0.6875 + 0.375 + 1 + 0 + 1 (a..g order).
+        probs = exact_activation_probabilities(
+            fig1_graph, [fig1_ids["e"], fig1_ids["g"]]
+        )
+        expected = {
+            "a": 1.0,
+            "b": 0.75,
+            "c": 0.6875,
+            "d": 0.375,
+            "e": 1.0,
+            "f": 0.0,
+            "g": 1.0,
+        }
+        for name, value in expected.items():
+            assert probs[fig1_ids[name]] == pytest.approx(value), name
+
+    def test_paper_probability_calculation_for_b(self, fig1_graph, fig1_ids):
+        # p({e, g} -> b) = 1 - (1 - 0.5)(1 - 0.5) = 0.75 (Example 1).
+        probs = exact_activation_probabilities(
+            fig1_graph, [fig1_ids["e"], fig1_ids["g"]]
+        )
+        assert probs[fig1_ids["b"]] == pytest.approx(0.75)
+
+    def test_optimal_two_seed_set_is_e_g(self, fig1_graph, fig1_ids):
+        seeds, value = exact_optimal_seed_set(fig1_graph, 2)
+        assert set(seeds) == {fig1_ids["e"], fig1_ids["g"]}
+        assert value == pytest.approx(4.8125)
+
+    def test_example3_targeted_optimum_differs_from_untargeted(
+        self, fig1_graph, fig1_profiles, fig1_ids
+    ):
+        # Example 3's point: with a {music} weighting the optimal seed set
+        # changes relative to the unweighted IM problem.
+        weights = fig1_profiles.phi_vector(["music"])
+        targeted, _ = exact_optimal_seed_set(fig1_graph, 2, weights)
+        untargeted, _ = exact_optimal_seed_set(fig1_graph, 2)
+        assert set(targeted) != set(untargeted)
+        # g carries no music interest and influences only b; e must appear.
+        assert fig1_ids["e"] in targeted
+
+
+class TestExactSpreadSmallGraphs:
+    def test_single_edge(self):
+        g = DiGraph.from_edges(2, [(0, 1)], probs=[0.3])
+        assert exact_spread(g, [0]) == pytest.approx(1.3)
+
+    def test_chain_probabilities_multiply(self):
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2)], probs=[0.5, 0.5])
+        probs = exact_activation_probabilities(g, [0])
+        assert probs.tolist() == pytest.approx([1.0, 0.5, 0.25])
+
+    def test_two_disjoint_paths_union(self):
+        # 0->2 (0.5) and 1->2 (0.5); both seeds: p(2) = 0.75.
+        g = DiGraph.from_edges(3, [(0, 2), (1, 2)])
+        probs = exact_activation_probabilities(g, [0, 1])
+        assert probs[2] == pytest.approx(0.75)
+
+    def test_deterministic_edges_reach_everything(self):
+        g = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], probs=[1, 1, 1])
+        assert exact_spread(g, [0]) == pytest.approx(4.0)
+
+    def test_seed_always_active(self):
+        g = DiGraph.from_edges(3, [(0, 1)], probs=[0.0])
+        probs = exact_activation_probabilities(g, [2])
+        assert probs.tolist() == pytest.approx([0.0, 0.0, 1.0])
+
+    def test_weighted_spread(self):
+        g = DiGraph.from_edges(2, [(0, 1)], probs=[0.5])
+        weights = np.array([2.0, 4.0])
+        assert exact_spread(g, [0], weights) == pytest.approx(2.0 + 0.5 * 4.0)
+
+    def test_weights_shape_checked(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            exact_spread(g, [0], np.ones(5))
+
+
+class TestGuards:
+    def test_edge_budget_enforced(self):
+        edges = [(i, i + 1) for i in range(23)]
+        g = DiGraph.from_edges(24, edges)
+        with pytest.raises(ValueError, match="at most"):
+            exact_spread(g, [0])
+
+    def test_duplicate_seeds_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            exact_spread(g, [0, 0])
+
+    def test_out_of_range_seed_rejected(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            exact_spread(g, [5])
+
+    def test_optimal_k_out_of_range(self):
+        g = DiGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            exact_optimal_seed_set(g, 0)
+        with pytest.raises(ValueError):
+            exact_optimal_seed_set(g, 3)
+
+
+class TestMonotonicityAndSubmodularity:
+    """The two properties the paper's Lemmas 3/4 lean on (via [15])."""
+
+    @pytest.fixture()
+    def g(self):
+        return DiGraph.from_edges(
+            5, [(0, 1), (1, 2), (3, 2), (3, 4), (0, 4)]
+        )
+
+    def test_monotone_in_seed_set(self, g):
+        assert exact_spread(g, [0]) <= exact_spread(g, [0, 3]) + 1e-12
+
+    def test_submodular_marginal_gains(self, g):
+        # f(S+v) - f(S) >= f(T+v) - f(T) for S ⊆ T, v ∉ T.
+        f = lambda s: exact_spread(g, s)
+        small_gain = f([0, 3]) - f([0])
+        large_gain = f([0, 1, 3]) - f([0, 1])
+        assert small_gain >= large_gain - 1e-12
+
+    def test_opt_monotone_in_k(self, g):
+        values = [exact_optimal_seed_set(g, k)[1] for k in (1, 2, 3)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_opt_k_over_k_decreasing(self, g):
+        # OPT_k / k decreases in k — the inequality behind Lemma 4.
+        values = [exact_optimal_seed_set(g, k)[1] for k in (1, 2, 3)]
+        ratios = [v / k for k, v in zip((1, 2, 3), values)]
+        assert ratios[0] >= ratios[1] - 1e-12 >= ratios[2] - 2e-12

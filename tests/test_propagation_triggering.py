@@ -1,0 +1,88 @@
+"""Tests for the general triggering model (repro.propagation.triggering)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.propagation.ic import IndependentCascade
+from repro.propagation.lt import LinearThreshold
+from repro.propagation.triggering import GeneralTriggering
+
+
+@pytest.fixture()
+def diamond() -> DiGraph:
+    return DiGraph.from_edges(
+        4, [(0, 1), (0, 2), (1, 3), (2, 3)], probs=[0.5, 0.5, 0.5, 0.5]
+    )
+
+
+class TestConstruction:
+    def test_requires_callable(self, diamond):
+        with pytest.raises(TypeError):
+            GeneralTriggering(diamond, trigger_sampler=42)  # type: ignore[arg-type]
+
+    def test_name(self, diamond):
+        model = GeneralTriggering.independent(diamond)
+        assert model.name == "TR"
+
+
+class TestIndependentEquivalence:
+    """IC expressed as a triggering model matches the native IC sampler."""
+
+    def test_rr_distribution_matches_ic(self, diamond):
+        ic = IndependentCascade(diamond)
+        tr = GeneralTriggering.independent(diamond)
+        gen = np.random.default_rng(1)
+        n = 4000
+        ic_freq = np.zeros(4)
+        tr_freq = np.zeros(4)
+        for _ in range(n):
+            ic_freq[ic.sample_rr_set(3, gen)] += 1
+            tr_freq[tr.sample_rr_set(3, gen)] += 1
+        np.testing.assert_allclose(ic_freq / n, tr_freq / n, atol=0.035)
+
+    def test_simulate_spread_matches_ic(self, diamond):
+        ic = IndependentCascade(diamond)
+        tr = GeneralTriggering.independent(diamond)
+        gen = np.random.default_rng(2)
+        n = 3000
+        ic_mean = sum(len(ic.simulate([0], gen)) for _ in range(n)) / n
+        tr_mean = sum(len(tr.simulate([0], gen)) for _ in range(n)) / n
+        assert ic_mean == pytest.approx(tr_mean, abs=0.1)
+
+
+class TestSinglePickEquivalence:
+    """LT expressed as a triggering model matches the native LT sampler."""
+
+    def test_rr_distribution_matches_lt(self, diamond):
+        lt = LinearThreshold(diamond, weight_rng=3)
+        tr = GeneralTriggering.single_pick(diamond, lt.weights)
+        gen = np.random.default_rng(4)
+        n = 4000
+        lt_freq = np.zeros(4)
+        tr_freq = np.zeros(4)
+        for _ in range(n):
+            lt_freq[lt.sample_rr_set(3, gen)] += 1
+            tr_freq[tr.sample_rr_set(3, gen)] += 1
+        np.testing.assert_allclose(lt_freq / n, tr_freq / n, atol=0.035)
+
+
+class TestCustomTrigger:
+    def test_always_empty_trigger_means_no_propagation(self, diamond):
+        model = GeneralTriggering(
+            diamond, lambda v, gen: np.empty(0, dtype=np.int64)
+        )
+        assert model.sample_rr_set(3, rng=5).tolist() == [3]
+        assert model.simulate([0], rng=5).tolist() == [0]
+
+    def test_full_trigger_means_reachability(self, diamond):
+        model = GeneralTriggering(
+            diamond, lambda v, gen: diamond.in_neighbors(v)
+        )
+        assert model.sample_rr_set(3, rng=6).tolist() == [0, 1, 2, 3]
+        assert model.simulate([0], rng=6).tolist() == [0, 1, 2, 3]
+
+    def test_rr_contains_root_always(self, diamond, rng):
+        model = GeneralTriggering.independent(diamond)
+        for root in range(4):
+            assert root in model.sample_rr_set(root, rng)

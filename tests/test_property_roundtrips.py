@@ -1,0 +1,112 @@
+"""Hypothesis property tests for persistence and consistency invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.profiles.store import ProfileStore
+from repro.profiles.topics import TopicSpace
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(2, 20))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=50))
+    probs = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False),
+                min_size=len(edges),
+                max_size=len(edges),
+            ),
+        )
+    )
+    return DiGraph.from_edges(n, edges, probs)
+
+
+@st.composite
+def random_profiles(draw):
+    n_users = draw(st.integers(1, 15))
+    topics = TopicSpace.default(draw(st.integers(1, 6)))
+    entries = []
+    seen = set()
+    for _ in range(draw(st.integers(0, 30))):
+        user = draw(st.integers(0, n_users - 1))
+        topic = draw(st.integers(0, topics.size - 1))
+        if (user, topic) in seen:
+            continue
+        seen.add((user, topic))
+        tf = draw(st.floats(0.01, 10.0, allow_nan=False))
+        entries.append((user, topic, tf))
+    return ProfileStore(n_users, topics, entries)
+
+
+class TestGraphPersistenceProperties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(random_graph())
+    def test_npz_roundtrip(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("prop") / "g.npz"
+        save_npz(graph, path)
+        assert load_npz(path) == graph
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(random_graph())
+    def test_edge_list_roundtrip(self, tmp_path_factory, graph):
+        path = tmp_path_factory.mktemp("prop") / "g.tsv"
+        save_edge_list(graph, path)
+        assert load_edge_list(path, n=graph.n) == graph
+
+
+class TestProfileConsistencyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_profiles(), st.data())
+    def test_phi_vector_matches_pointwise_phi(self, store, data):
+        usable = [t for t in range(store.topics.size) if store.df(t) > 0]
+        if not usable:
+            return
+        keywords = data.draw(
+            st.lists(st.sampled_from(usable), min_size=1, unique=True)
+        )
+        vector = store.phi_vector(keywords)
+        for user in range(store.n_users):
+            assert vector[user] == pytest.approx(store.phi(user, keywords))
+        assert vector.sum() == pytest.approx(store.phi_q(keywords))
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_profiles(), st.data())
+    def test_eqn7_mixture_identity(self, store, data):
+        """ps(v, Q) = Σ_w ps(v, w)·p_w for arbitrary stores and queries."""
+        usable = [t for t in range(store.topics.size) if store.df(t) > 0]
+        if not usable:
+            return
+        keywords = data.draw(
+            st.lists(st.sampled_from(usable), min_size=1, unique=True)
+        )
+        users, probs = store.query_distribution(keywords)
+        mixture = np.zeros(store.n_users)
+        for w in keywords:
+            w_users, w_probs = store.sampling_distribution(w)
+            mixture[w_users] += store.p_w(w, keywords) * w_probs
+        for user, p in zip(users, probs):
+            assert mixture[int(user)] == pytest.approx(float(p))
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_profiles())
+    def test_tf_sums_consistent(self, store):
+        for topic in range(store.topics.size):
+            users, tfs = store.users_of(topic)
+            assert store.tf_sum(topic) == pytest.approx(float(tfs.sum()))
+            assert store.df(topic) == len(users)

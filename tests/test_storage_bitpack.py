@@ -1,0 +1,85 @@
+"""Tests for fixed-width bit packing (repro.storage.bitpack)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.bitpack import bits_needed, pack_fixed_width, unpack_fixed_width
+
+
+class TestBitsNeeded:
+    def test_known_values(self):
+        assert bits_needed(np.array([0])) == 1
+        assert bits_needed(np.array([1])) == 1
+        assert bits_needed(np.array([2])) == 2
+        assert bits_needed(np.array([255])) == 8
+        assert bits_needed(np.array([256])) == 9
+
+    def test_empty(self):
+        assert bits_needed(np.array([], dtype=np.uint64)) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            bits_needed(np.array([-1]))
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        values = np.array([1, 2, 3, 4, 5], dtype=np.uint64)
+        packed = pack_fixed_width(values, 3)
+        assert np.array_equal(unpack_fixed_width(packed, 3, 5), values)
+
+    def test_packed_size(self):
+        values = np.arange(8, dtype=np.uint64)
+        packed = pack_fixed_width(values, 3)
+        assert len(packed) == 3  # 24 bits
+
+    def test_width_one(self):
+        values = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint64)
+        packed = pack_fixed_width(values, 1)
+        assert len(packed) == 1
+        assert np.array_equal(unpack_fixed_width(packed, 1, 8), values)
+
+    def test_width_64(self):
+        values = np.array([2**63, 2**64 - 1, 0], dtype=np.uint64)
+        packed = pack_fixed_width(values, 64)
+        assert np.array_equal(unpack_fixed_width(packed, 64, 3), values)
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(StorageError, match="does not fit"):
+            pack_fixed_width(np.array([8], dtype=np.uint64), 3)
+
+    def test_empty_array(self):
+        assert pack_fixed_width(np.array([], dtype=np.uint64), 5) == b""
+        assert len(unpack_fixed_width(b"", 5, 0)) == 0
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(StorageError, match="truncated"):
+            unpack_fixed_width(b"\x01", 16, 4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(StorageError):
+            pack_fixed_width(np.array([1], dtype=np.uint64), 0)
+        with pytest.raises(StorageError):
+            unpack_fixed_width(b"", 65, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(1, 40),
+        st.lists(st.integers(0, 2**40 - 1), max_size=300),
+    )
+    def test_roundtrip_property(self, extra_bits, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        width = max(bits_needed(arr), 1)
+        width = min(width + extra_bits % 3, 64)  # sometimes over-wide
+        packed = pack_fixed_width(arr, width)
+        assert np.array_equal(unpack_fixed_width(packed, width, len(arr)), arr)
+
+    @given(st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=64))
+    def test_minimal_width_suffices(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        width = bits_needed(arr)
+        packed = pack_fixed_width(arr, width)
+        assert np.array_equal(unpack_fixed_width(packed, width, len(arr)), arr)

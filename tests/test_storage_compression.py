@@ -1,0 +1,121 @@
+"""Tests for the id-list codecs (repro.storage.compression)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.compression import Codec, compress_ids, decompress_ids
+
+sorted_ids = st.lists(
+    st.integers(0, 2**40), min_size=0, max_size=400, unique=True
+).map(sorted).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("codec", list(Codec))
+    def test_simple(self, codec):
+        ids = np.array([0, 3, 7, 100, 10_000], dtype=np.int64)
+        out, offset = decompress_ids(compress_ids(ids, codec))
+        assert np.array_equal(out, ids)
+
+    @pytest.mark.parametrize("codec", list(Codec))
+    def test_empty(self, codec):
+        out, _ = decompress_ids(compress_ids(np.array([], dtype=np.int64), codec))
+        assert len(out) == 0
+
+    @pytest.mark.parametrize("codec", list(Codec))
+    def test_single_zero(self, codec):
+        out, _ = decompress_ids(compress_ids(np.array([0]), codec))
+        assert out.tolist() == [0]
+
+    @pytest.mark.parametrize("codec", list(Codec))
+    def test_offset_decoding_back_to_back(self, codec):
+        a = np.array([1, 5, 9])
+        b = np.array([2, 4])
+        blob = compress_ids(a, codec) + compress_ids(b, codec)
+        out_a, offset = decompress_ids(blob)
+        out_b, end = decompress_ids(blob, offset)
+        assert np.array_equal(out_a, a) and np.array_equal(out_b, b)
+        assert end == len(blob)
+
+    @settings(max_examples=80, deadline=None)
+    @given(sorted_ids, st.sampled_from(list(Codec)))
+    def test_roundtrip_property(self, ids, codec):
+        out, offset = decompress_ids(compress_ids(ids, codec))
+        assert np.array_equal(out, ids)
+
+
+class TestValidation:
+    def test_unsorted_rejected(self):
+        with pytest.raises(StorageError, match="increasing"):
+            compress_ids(np.array([3, 1, 2]))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(StorageError, match="increasing"):
+            compress_ids(np.array([1, 1, 2]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError, match="non-negative"):
+            compress_ids(np.array([-1, 2]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(StorageError):
+            compress_ids(np.array([[1, 2]]))
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(StorageError, match="codec"):
+            decompress_ids(b"\xee\x01\x00")
+
+    def test_truncated_raw_rejected(self):
+        blob = compress_ids(np.array([1, 2, 3]), Codec.RAW)
+        with pytest.raises(StorageError):
+            decompress_ids(blob[:-4])
+
+    def test_truncated_pfor_rejected(self):
+        blob = compress_ids(np.arange(0, 600, 2), Codec.PFOR)
+        with pytest.raises(StorageError):
+            decompress_ids(blob[: len(blob) // 2])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(StorageError):
+            decompress_ids(b"")
+
+
+class TestCompressionBehaviour:
+    """Table 4's premise: the codecs actually shrink sorted id lists."""
+
+    def test_pfor_beats_raw_on_dense_lists(self):
+        ids = np.arange(0, 5000, 3, dtype=np.int64)
+        raw = compress_ids(ids, Codec.RAW)
+        pfor = compress_ids(ids, Codec.PFOR)
+        assert len(pfor) < len(raw) / 4
+
+    def test_varint_beats_raw_on_small_gaps(self):
+        ids = np.cumsum(np.ones(1000, dtype=np.int64))
+        raw = compress_ids(ids, Codec.RAW)
+        var = compress_ids(ids, Codec.VARINT)
+        assert len(var) < len(raw) / 4
+
+    def test_pfor_handles_outlier_gaps(self):
+        # Mostly gap-1 values with one huge jump: the exception path.
+        ids = np.concatenate(
+            [np.arange(200), np.arange(2**33, 2**33 + 200)]
+        ).astype(np.int64)
+        blob = compress_ids(ids, Codec.PFOR)
+        out, _ = decompress_ids(blob)
+        assert np.array_equal(out, ids)
+
+    def test_pfor_block_boundary_sizes(self):
+        # Exercise lengths around the 128-value block boundary.
+        for n in (127, 128, 129, 255, 256, 257):
+            ids = np.arange(n, dtype=np.int64) * 2
+            out, _ = decompress_ids(compress_ids(ids, Codec.PFOR))
+            assert np.array_equal(out, ids), n
+
+    def test_self_describing_tag(self):
+        ids = np.array([5, 6])
+        for codec in Codec:
+            blob = compress_ids(ids, codec)
+            assert blob[0] == codec.value

@@ -1,0 +1,129 @@
+"""Tests for the paged file and buffer pool (repro.storage.pager)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.pager import BufferPool, PagedFile
+
+
+@pytest.fixture()
+def data_file(tmp_path):
+    path = tmp_path / "blob.bin"
+    path.write_bytes(bytes(range(256)) * 64)  # 16 KiB
+    return path
+
+
+class TestPagedFileReads:
+    def test_read_exact_bytes(self, data_file):
+        with PagedFile(data_file, page_size=4096) as f:
+            assert f.read(0, 4) == bytes([0, 1, 2, 3])
+            assert f.read(255, 3) == bytes([255, 0, 1])
+
+    def test_read_spanning_pages(self, data_file):
+        with PagedFile(data_file, page_size=64) as f:
+            blob = f.read(60, 10)
+            assert blob == (bytes(range(256)) * 64)[60:70]
+
+    def test_read_past_end_rejected(self, data_file):
+        with PagedFile(data_file) as f:
+            with pytest.raises(StorageError, match="past end"):
+                f.read(16 * 1024 - 2, 10)
+
+    def test_negative_args_rejected(self, data_file):
+        with PagedFile(data_file) as f:
+            with pytest.raises(StorageError):
+                f.read(-1, 2)
+            with pytest.raises(StorageError):
+                f.read(0, -2)
+
+    def test_zero_length_read(self, data_file):
+        with PagedFile(data_file) as f:
+            assert f.read(100, 0) == b""
+            assert f.stats.read_calls == 1
+            assert f.stats.pages_read == 0
+
+
+class TestAccounting:
+    def test_read_counts_pages(self, data_file):
+        stats = IOStats()
+        with PagedFile(data_file, stats=stats, page_size=1024) as f:
+            f.read(0, 3000)  # touches 3 pages
+        assert stats.read_calls == 1
+        assert stats.pages_read == 3
+        assert stats.bytes_read == 3000
+
+    def test_cache_hits_counted(self, data_file):
+        stats = IOStats()
+        with PagedFile(data_file, stats=stats, page_size=1024) as f:
+            f.read(0, 100)
+            f.read(10, 100)  # same page, now cached
+        assert stats.pages_read == 1
+        assert stats.pages_hit == 1
+        assert stats.hit_ratio == pytest.approx(0.5)
+
+    def test_snapshot_delta(self, data_file):
+        stats = IOStats()
+        with PagedFile(data_file, stats=stats, page_size=1024) as f:
+            f.read(0, 10)
+            before = stats.snapshot()
+            f.read(5000, 10)
+            delta = stats.delta(before)
+        assert delta.read_calls == 1
+        assert delta.pages_read == 1
+
+    def test_reset(self):
+        stats = IOStats(read_calls=3, bytes_read=10)
+        stats.reset()
+        assert stats.read_calls == 0 and stats.bytes_read == 0
+
+
+class TestBufferPool:
+    def test_lru_eviction(self, data_file):
+        pool = BufferPool(capacity_pages=2)
+        stats = IOStats()
+        with PagedFile(data_file, stats=stats, pool=pool, page_size=1024) as f:
+            f.read(0, 1)      # page 0
+            f.read(1024, 1)   # page 1
+            f.read(2048, 1)   # page 2 -> evicts page 0
+            f.read(0, 1)      # page 0 again: physical read
+        assert stats.pages_read == 4
+        assert stats.pages_hit == 0
+
+    def test_capacity_respected(self, data_file):
+        pool = BufferPool(capacity_pages=3)
+        with PagedFile(data_file, pool=pool, page_size=512) as f:
+            for i in range(10):
+                f.read(i * 512, 1)
+        assert len(pool) <= 3
+
+    def test_shared_pool_across_files(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        a.write_bytes(b"A" * 4096)
+        b.write_bytes(b"B" * 4096)
+        pool = BufferPool(capacity_pages=8)
+        stats = IOStats()
+        with PagedFile(a, pool=pool, stats=stats) as fa, PagedFile(
+            b, pool=pool, stats=stats
+        ) as fb:
+            assert fa.read(0, 1) == b"A"
+            assert fb.read(0, 1) == b"B"  # distinct file ids do not collide
+            assert fa.read(1, 1) == b"A"
+        assert stats.pages_hit == 1
+
+    def test_invalidate_file_on_close(self, data_file):
+        pool = BufferPool(capacity_pages=8)
+        f = PagedFile(data_file, pool=pool, page_size=1024)
+        f.read(0, 1)
+        assert len(pool) == 1
+        f.close()
+        assert len(pool) == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+    def test_bad_page_size_rejected(self, data_file):
+        with pytest.raises(StorageError):
+            PagedFile(data_file, page_size=4)

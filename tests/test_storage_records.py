@@ -1,0 +1,134 @@
+"""Tests for the record encodings (repro.storage.records)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.compression import Codec
+from repro.storage.records import InvertedListsRecord, RRSetsRecord
+
+id_array = st.lists(
+    st.integers(0, 5000), min_size=0, max_size=40, unique=True
+).map(sorted).map(lambda xs: np.asarray(xs, dtype=np.int64))
+
+
+class TestRRSetsRecord:
+    def test_roundtrip(self):
+        sets = [np.array([1, 5, 9]), np.array([0]), np.array([], dtype=np.int64)]
+        record = RRSetsRecord.encode(sets)
+        out = RRSetsRecord.decode_all(record)
+        assert len(out) == 3
+        for a, b in zip(sets, out):
+            assert np.array_equal(a, b)
+
+    def test_empty_collection(self):
+        record = RRSetsRecord.encode([])
+        assert RRSetsRecord.decode_all(record) == []
+
+    def test_header_fields(self):
+        sets = [np.array([i]) for i in range(10)]
+        record = RRSetsRecord.encode(sets, group_size=4)
+        n_sets, group_size, payload_len, payload_start = RRSetsRecord.read_header(
+            record
+        )
+        assert n_sets == 10 and group_size == 4
+        assert payload_start == RRSetsRecord.HEADER_SIZE + 8 * 3  # 3 groups
+
+    def test_prefix_decode_via_offsets(self):
+        sets = [np.array([i, i + 100]) for i in range(20)]
+        record = RRSetsRecord.encode(sets, group_size=4)
+        _n, group_size, payload_len, payload_start = RRSetsRecord.read_header(record)
+        start, length = RRSetsRecord.offset_table_range(record)
+        offsets = RRSetsRecord.decode_offsets(record[start : start + length])
+        for count in (1, 4, 5, 20):
+            end = RRSetsRecord.prefix_payload_end(
+                offsets, payload_len, group_size, count
+            )
+            payload = record[payload_start : payload_start + end]
+            decoded = RRSetsRecord.decode_prefix(payload, count)
+            assert len(decoded) == count
+            for i, rr in enumerate(decoded):
+                assert np.array_equal(rr, sets[i])
+
+    def test_prefix_zero(self):
+        offsets = np.array([0, 100])
+        assert RRSetsRecord.prefix_payload_end(offsets, 500, 4, 0) == 0
+
+    def test_offsets_monotone(self):
+        sets = [np.arange(i + 1) for i in range(50)]
+        record = RRSetsRecord.encode(sets, group_size=8)
+        start, length = RRSetsRecord.offset_table_range(record)
+        offsets = RRSetsRecord.decode_offsets(record[start : start + length])
+        assert np.all(np.diff(offsets) > 0)
+
+    def test_bad_group_size(self):
+        with pytest.raises(StorageError):
+            RRSetsRecord.encode([], group_size=0)
+
+    def test_truncated_header(self):
+        with pytest.raises(StorageError):
+            RRSetsRecord.read_header(b"\x01")
+
+    def test_bad_offset_table_length(self):
+        with pytest.raises(StorageError):
+            RRSetsRecord.decode_offsets(b"\x00" * 7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(id_array, max_size=30), st.sampled_from(list(Codec)))
+    def test_roundtrip_property(self, sets, codec):
+        record = RRSetsRecord.encode(sets, codec, group_size=4)
+        out = RRSetsRecord.decode_all(record)
+        assert len(out) == len(sets)
+        for a, b in zip(sets, out):
+            assert np.array_equal(a, b)
+
+
+class TestInvertedListsRecord:
+    def test_roundtrip(self):
+        lists = [(3, np.array([0, 2, 9])), (7, np.array([1])), (0, np.array([], dtype=np.int64))]
+        out = InvertedListsRecord.decode(InvertedListsRecord.encode(lists))
+        assert [(k, v.tolist()) for k, v in out] == [
+            (k, v.tolist()) for k, v in lists
+        ]
+
+    def test_order_preserved(self):
+        # IL_w stores lists by descending length, not key order.
+        lists = [(9, np.array([1, 2, 3])), (1, np.array([5, 6])), (4, np.array([0]))]
+        out = InvertedListsRecord.decode(InvertedListsRecord.encode(lists))
+        assert [k for k, _ in out] == [9, 1, 4]
+
+    def test_empty_collection(self):
+        assert InvertedListsRecord.decode(InvertedListsRecord.encode([])) == []
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(StorageError):
+            InvertedListsRecord.encode([(-1, np.array([1]))])
+
+    def test_truncated_rejected(self):
+        record = InvertedListsRecord.encode([(1, np.array([1, 2, 3]))])
+        with pytest.raises(StorageError):
+            InvertedListsRecord.decode(record[:-2])
+
+    def test_trailing_bytes_rejected(self):
+        record = InvertedListsRecord.encode([(1, np.array([1]))])
+        # Extending the payload without updating the header must fail.
+        broken = bytearray(record)
+        broken += b"\x00"
+        # payload_len in header no longer matches the decode walk
+        with pytest.raises(StorageError):
+            InvertedListsRecord.decode(bytes(broken[: len(record) - 1]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10_000), id_array), max_size=30
+        ),
+        st.sampled_from(list(Codec)),
+    )
+    def test_roundtrip_property(self, lists, codec):
+        out = InvertedListsRecord.decode(InvertedListsRecord.encode(lists, codec))
+        assert len(out) == len(lists)
+        for (ka, va), (kb, vb) in zip(lists, out):
+            assert ka == kb and np.array_equal(va, vb)

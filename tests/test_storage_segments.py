@@ -1,0 +1,130 @@
+"""Tests for the named-segment container (repro.storage.segments)."""
+
+import pytest
+
+from repro.errors import CorruptIndexError, StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.segments import SegmentReader, SegmentWriter
+
+
+@pytest.fixture()
+def index_path(tmp_path):
+    path = tmp_path / "test.idx"
+    with SegmentWriter(path) as writer:
+        writer.add("alpha", b"hello world")
+        writer.add("beta/0", b"\x00" * 1000)
+        writer.add("empty", b"")
+    return path
+
+
+class TestWriter:
+    def test_duplicate_names_rejected(self, tmp_path):
+        with SegmentWriter(tmp_path / "x.idx") as writer:
+            writer.add("a", b"1")
+            with pytest.raises(StorageError, match="duplicate"):
+                writer.add("a", b"2")
+            writer.add("b", b"2")
+
+    def test_empty_name_rejected(self, tmp_path):
+        with SegmentWriter(tmp_path / "x.idx") as writer:
+            with pytest.raises(StorageError):
+                writer.add("", b"1")
+            writer.add("ok", b"1")
+
+    def test_add_after_finalize_rejected(self, tmp_path):
+        writer = SegmentWriter(tmp_path / "x.idx")
+        writer.add("a", b"1")
+        writer.finalize()
+        with pytest.raises(StorageError):
+            writer.add("b", b"2")
+
+    def test_finalize_idempotent(self, tmp_path):
+        writer = SegmentWriter(tmp_path / "x.idx")
+        writer.add("a", b"1")
+        writer.finalize()
+        writer.finalize()
+
+    def test_write_accounting(self, tmp_path):
+        stats = IOStats()
+        writer = SegmentWriter(tmp_path / "x.idx", stats=stats)
+        writer.add("a", b"12345")
+        writer.finalize()
+        assert stats.bytes_written > 5
+
+
+class TestReader:
+    def test_names_in_file_order(self, index_path):
+        with SegmentReader(index_path) as reader:
+            assert reader.names() == ["alpha", "beta/0", "empty"]
+
+    def test_read_contents(self, index_path):
+        with SegmentReader(index_path) as reader:
+            assert reader.read("alpha") == b"hello world"
+            assert reader.read("beta/0") == b"\x00" * 1000
+            assert reader.read("empty") == b""
+
+    def test_contains(self, index_path):
+        with SegmentReader(index_path) as reader:
+            assert "alpha" in reader
+            assert "gamma" not in reader
+
+    def test_missing_segment(self, index_path):
+        with SegmentReader(index_path) as reader:
+            with pytest.raises(CorruptIndexError, match="missing segment"):
+                reader.read("gamma")
+
+    def test_read_range(self, index_path):
+        with SegmentReader(index_path) as reader:
+            assert reader.read_range("alpha", 6, 5) == b"world"
+
+    def test_read_range_bounds_checked(self, index_path):
+        with SegmentReader(index_path) as reader:
+            with pytest.raises(StorageError):
+                reader.read_range("alpha", 6, 100)
+
+    def test_io_accounting_per_read(self, index_path):
+        stats = IOStats()
+        with SegmentReader(index_path, stats=stats) as reader:
+            opened = stats.read_calls  # TOC reads at open
+            reader.read("alpha")
+            assert stats.read_calls == opened + 1
+
+    def test_verify_mode_reads_everything(self, index_path):
+        reader = SegmentReader(index_path, verify=True)
+        reader.close()
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"NOTANIDX" + b"\x00" * 64)
+        with pytest.raises(CorruptIndexError, match="magic"):
+            SegmentReader(path)
+
+    def test_too_small(self, tmp_path):
+        path = tmp_path / "tiny.idx"
+        path.write_bytes(b"xy")
+        with pytest.raises(CorruptIndexError, match="too small"):
+            SegmentReader(path)
+
+    def test_flipped_payload_byte_detected(self, index_path):
+        data = bytearray(index_path.read_bytes())
+        # Flip one byte inside the "alpha" payload (right after header).
+        data[13] ^= 0xFF
+        index_path.write_bytes(bytes(data))
+        with SegmentReader(index_path) as reader:
+            with pytest.raises(CorruptIndexError, match="checksum"):
+                reader.read("alpha")
+
+    def test_truncated_footer_detected(self, index_path):
+        data = index_path.read_bytes()
+        index_path.write_bytes(data[:-3])
+        with pytest.raises(CorruptIndexError):
+            SegmentReader(index_path)
+
+    def test_corrupted_toc_detected(self, index_path):
+        data = bytearray(index_path.read_bytes())
+        data[-20] ^= 0x01  # inside TOC region
+        index_path.write_bytes(bytes(data))
+        with pytest.raises(CorruptIndexError):
+            SegmentReader(index_path)

@@ -1,0 +1,85 @@
+"""Tests for LEB128 varints (repro.storage.varint)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.varint import (
+    decode_varint,
+    decode_varints,
+    encode_varint,
+    encode_varints,
+)
+
+
+class TestSingleValue:
+    def test_known_encodings(self):
+        assert encode_varint(0) == b"\x00"
+        assert encode_varint(127) == b"\x7f"
+        assert encode_varint(128) == b"\x80\x01"
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_roundtrip_boundaries(self):
+        for value in (0, 1, 127, 128, 16383, 16384, 2**32, 2**63 - 1):
+            data = encode_varint(value)
+            decoded, offset = decode_varint(data)
+            assert decoded == value and offset == len(data)
+
+    def test_negative_rejected(self):
+        with pytest.raises(StorageError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(StorageError, match="truncated"):
+            decode_varint(b"\x80")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(StorageError, match="64 bits"):
+            decode_varint(b"\xff" * 11)
+
+    @given(st.integers(0, 2**63 - 1))
+    def test_roundtrip_property(self, value):
+        decoded, _ = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestSequences:
+    def test_roundtrip(self):
+        values = [0, 5, 128, 300, 2**40]
+        data = encode_varints(values)
+        decoded, offset = decode_varints(data, len(values))
+        assert decoded == values and offset == len(data)
+
+    def test_empty_sequence(self):
+        assert encode_varints([]) == b""
+        assert decode_varints(b"", 0) == ([], 0)
+
+    def test_decode_at_offset(self):
+        data = b"junk" + encode_varints([7, 9])
+        decoded, _ = decode_varints(data, 2, offset=4)
+        assert decoded == [7, 9]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(StorageError):
+            decode_varints(b"", -1)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(StorageError):
+            encode_varints([1, -2])
+
+    @given(st.lists(st.integers(0, 2**50), max_size=200))
+    def test_roundtrip_property(self, values):
+        data = encode_varints(values)
+        decoded, offset = decode_varints(data, len(values))
+        assert decoded == values and offset == len(data)
+
+    @given(st.lists(st.integers(0, 2**20), min_size=1, max_size=50))
+    def test_concatenation_is_seekable(self, values):
+        """Sequential decodes walk the stream without a length prefix."""
+        data = encode_varints(values)
+        offset = 0
+        for expected in values:
+            value, offset = decode_varint(data, offset)
+            assert value == expected
+        assert offset == len(data)

@@ -1,0 +1,76 @@
+"""Tests for RNG plumbing (repro.utils.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_seed, optional_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(7).integers(0, 1 << 30, size=5)
+        b = as_rng(7).integers(0, 1 << 30, size=5)
+        assert np.array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        a = as_rng(7).integers(0, 1 << 30, size=8)
+        b = as_rng(8).integers(0, 1 << 30, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        a = as_rng(np.int64(5)).integers(0, 100, size=3)
+        b = as_rng(5).integers(0, 100, size=3)
+        assert np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn_rngs(1, 2)
+        a = children[0].integers(0, 1 << 30, size=16)
+        b = children[1].integers(0, 1 << 30, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 3)]
+        b = [g.integers(0, 1 << 30) for g in spawn_rngs(9, 3)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestSeedHelpers:
+    def test_derive_seed_in_range(self):
+        seed = derive_seed(11)
+        assert 0 <= seed < 2**63
+
+    def test_optional_seed_preserves_none(self):
+        assert optional_seed(None, 5) is None
+
+    def test_optional_seed_deterministic(self):
+        assert optional_seed(10, 3) == optional_seed(10, 3)
+
+    def test_optional_seed_salt_changes_value(self):
+        assert optional_seed(10, 3) != optional_seed(10, 4)

@@ -1,0 +1,58 @@
+"""Tests for the query workload generator (repro.datasets.workload)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.workload import make_workload
+from repro.errors import QueryError
+from repro.profiles.generators import zipf_profiles
+from repro.profiles.topics import TopicSpace
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return zipf_profiles(400, TopicSpace.default(12), rng=31)
+
+
+class TestMakeWorkload:
+    def test_shape(self, profiles):
+        wl = make_workload(profiles, length=3, k=5, n_queries=10, rng=1)
+        assert len(wl) == 10
+        assert wl.length == 3 and wl.k == 5
+        for q in wl:
+            assert q.n_keywords == 3 and q.k == 5
+
+    def test_no_duplicate_keywords_within_query(self, profiles):
+        wl = make_workload(profiles, length=4, k=2, n_queries=20, rng=2)
+        for q in wl:
+            assert len(set(q.keywords)) == 4
+
+    def test_only_usable_topics(self, profiles):
+        wl = make_workload(profiles, length=2, k=2, n_queries=30, rng=3)
+        for q in wl:
+            for kw in q.keywords:
+                assert profiles.df(kw) > 0
+
+    def test_popularity_bias(self, profiles):
+        wl = make_workload(profiles, length=1, k=1, n_queries=400, rng=4)
+        head = sum(1 for q in wl if q.keywords[0] == profiles.topics.name(0))
+        tail = sum(
+            1 for q in wl if q.keywords[0] == profiles.topics.name(11)
+        )
+        assert head > tail
+
+    def test_deterministic(self, profiles):
+        a = make_workload(profiles, length=2, k=3, n_queries=5, rng=5)
+        b = make_workload(profiles, length=2, k=3, n_queries=5, rng=5)
+        assert [q.keywords for q in a] == [q.keywords for q in b]
+
+    def test_length_beyond_usable_topics_rejected(self):
+        profiles = zipf_profiles(30, TopicSpace.default(3), rng=6)
+        with pytest.raises(QueryError):
+            make_workload(profiles, length=10, k=1)
+
+    def test_paper_lengths_supported(self, profiles):
+        # The paper sweeps |Q.T| from 1 to 6.
+        for length in range(1, 7):
+            wl = make_workload(profiles, length=length, k=10, n_queries=3, rng=7)
+            assert all(q.n_keywords == length for q in wl)
