@@ -31,11 +31,37 @@ def rr_sets(model):
 
 
 def test_online_rr_sampling_throughput(model, benchmark):
-    """What WRIS pays per query, per 100 RR sets."""
+    """What WRIS pays per query, per 100 RR sets (batched fast path)."""
     rng = np.random.default_rng(79)
     roots = sample_uniform_roots(model.graph.n, 100, rng)
 
     benchmark(lambda: sample_rr_sets(model, roots, rng))
+
+
+#: One keyword's offline sampling pass at the default-scale θ cap — the
+#: workload Algorithm 1 pays per keyword.
+_BATCH_THETA = 1200
+
+
+def test_rr_sampling_scalar_reference(model, benchmark):
+    """The pre-batching per-root walk, kept as the statistical reference.
+
+    Paired with :func:`test_rr_sampling_batched` on an identical θ=1200
+    workload (one keyword's offline pass at the default-scale cap) — the
+    ratio of the two is the batched-kernel speedup BENCH_pr1.json records.
+    """
+    rng = np.random.default_rng(83)
+    roots = sample_uniform_roots(model.graph.n, _BATCH_THETA, rng)
+
+    benchmark(lambda: [model.sample_rr_set(int(root), rng) for root in roots])
+
+
+def test_rr_sampling_batched(model, benchmark):
+    """The batched multi-root reverse BFS on the same θ=1200 workload."""
+    rng = np.random.default_rng(83)
+    roots = sample_uniform_roots(model.graph.n, _BATCH_THETA, rng)
+
+    benchmark(lambda: model.sample_rr_sets_batch(roots, rng))
 
 
 def test_rr_record_decode_throughput(rr_sets, benchmark):
@@ -49,6 +75,11 @@ def test_greedy_coverage(rr_sets, model, benchmark):
     instance = CoverageInstance(model.graph.n, rr_sets)
 
     benchmark(lambda: lazy_greedy_max_coverage(instance, 20))
+
+
+def test_coverage_instance_build(rr_sets, model, benchmark):
+    """Flat-CSR instance construction (argsort+bincount inversion)."""
+    benchmark(lambda: CoverageInstance(model.graph.n, rr_sets))
 
 
 @pytest.mark.parametrize("codec", [Codec.VARINT, Codec.PFOR])

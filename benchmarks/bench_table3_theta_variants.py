@@ -14,17 +14,17 @@ from dataclasses import replace
 import pytest
 
 from repro.core.theta import ThetaPolicy
-from repro.experiments.harness import ExperimentContext, ExperimentScale
+from repro.experiments.harness import ExperimentContext
 from repro.experiments.tables import run_table3
 
-from conftest import emit
+from conftest import bench_scale, emit
 
 
 @pytest.fixture(scope="module")
 def table3_ctx():
     scale = replace(
-        ExperimentScale.default(),
-        news_sizes=(0, 1),
+        bench_scale(),
+        news_sizes=bench_scale().news_sizes[:2],
         n_topics=8,
         policy=ThetaPolicy(epsilon=2.0, K=20, cap=None),
     )

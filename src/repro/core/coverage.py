@@ -4,10 +4,20 @@ Given a collection of RR sets, pick ``k`` vertices covering the maximum
 number of sets.  The classic greedy algorithm gives the ``(1 - 1/e)``
 factor that steps S3-S4 of the paper's proof sketch rely on.
 
-Two implementations with identical output:
+The instance is stored as two flat CSR layouts instead of Python
+containers, so the whole pipeline — counting, greedy updates, and the
+query-time merge of per-keyword blocks — runs as array kernels:
 
-* :func:`greedy_max_coverage` — textbook argmax loop, O(k·n + total set
-  size); the reference implementation used in correctness tests;
+* ``set_ptr`` / ``set_vertices`` — RR set ``s`` occupies
+  ``set_vertices[set_ptr[s]:set_ptr[s+1]]`` (sorted vertex ids);
+* ``vtx_ptr`` / ``vtx_sets`` — the inverted mapping (the paper's ``L``):
+  vertex ``v`` appears in sets ``vtx_sets[vtx_ptr[v]:vtx_ptr[v+1]]``
+  (ascending set ids), built with one stable argsort + bincount.
+
+Two greedy implementations with identical output:
+
+* :func:`greedy_max_coverage` — textbook argmax loop; the reference
+  implementation used in correctness tests;
 * :func:`lazy_greedy_max_coverage` — CELF-style heap with stale-entry
   re-insertion; what the query paths call.
 
@@ -18,11 +28,59 @@ bit-identical and makes Theorem 3 testable.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["CoverageInstance", "greedy_max_coverage", "lazy_greedy_max_coverage"]
+from repro.utils.segments import segmented_arange
+
+__all__ = [
+    "CoverageInstance",
+    "greedy_max_coverage",
+    "lazy_greedy_max_coverage",
+    "merge_coverage_csr",
+]
+
+_ID_DTYPE = np.int64
+
+
+def _invert_csr(
+    n_vertices: int, set_ptr: np.ndarray, set_vertices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the inverted ``vertex -> set ids`` CSR from the set CSR.
+
+    One ``bincount`` for the pointer array, one stable argsort for the
+    payload; the stable sort keeps per-vertex set ids ascending.
+    """
+    vtx_ptr = np.zeros(n_vertices + 1, dtype=_ID_DTYPE)
+    if set_vertices.size:
+        counts = np.bincount(set_vertices, minlength=n_vertices)
+        np.cumsum(counts, out=vtx_ptr[1:])
+        n_sets = len(set_ptr) - 1
+        set_ids = np.repeat(
+            np.arange(n_sets, dtype=_ID_DTYPE), np.diff(set_ptr)
+        )
+        order = np.argsort(set_vertices, kind="stable")
+        vtx_sets = set_ids[order]
+    else:
+        vtx_sets = np.empty(0, dtype=_ID_DTYPE)
+    return vtx_ptr, vtx_sets
+
+
+def _dict_to_csr(
+    n_vertices: int, inverted: Dict[int, np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR arrays from a legacy ``vertex -> set ids`` dict."""
+    lengths = np.zeros(n_vertices, dtype=_ID_DTYPE)
+    for v, ids in inverted.items():
+        lengths[v] = len(ids)
+    vtx_ptr = np.zeros(n_vertices + 1, dtype=_ID_DTYPE)
+    np.cumsum(lengths, out=vtx_ptr[1:])
+    vtx_sets = np.empty(int(vtx_ptr[-1]), dtype=_ID_DTYPE)
+    for v, ids in inverted.items():
+        start = int(vtx_ptr[v])
+        vtx_sets[start : start + len(ids)] = np.asarray(ids, dtype=_ID_DTYPE)
+    return vtx_ptr, vtx_sets
 
 
 class CoverageInstance:
@@ -33,9 +91,11 @@ class CoverageInstance:
     n_vertices:
         Universe size (vertex ids must lie in ``[0, n_vertices)``).
     rr_sets:
-        The sampled RR sets, each a sorted array of vertex ids.  The
-        instance builds the inverted mapping ``vertex -> set ids`` (the
-        paper's ``L``) eagerly.
+        The sampled RR sets, each a sorted array of vertex ids.  They are
+        flattened into the CSR layout described in the module docstring.
+    inverted:
+        Optional pre-built ``vertex -> set ids`` mapping; when omitted it
+        is derived from ``rr_sets`` with one argsort + bincount.
     """
 
     def __init__(
@@ -47,35 +107,182 @@ class CoverageInstance:
         if n_vertices < 0:
             raise ValueError(f"n_vertices must be >= 0, got {n_vertices}")
         self.n_vertices = n_vertices
-        self.rr_sets: List[np.ndarray] = [
-            np.asarray(rr, dtype=np.int64) for rr in rr_sets
-        ]
-        for set_id, rr in enumerate(self.rr_sets):
-            if len(rr) and (rr[0] < 0 or rr[-1] >= n_vertices):
+        sets = [np.asarray(rr, dtype=_ID_DTYPE) for rr in rr_sets]
+        # Only the flat CSR is retained; the rr_sets property rebuilds
+        # per-set views on demand so the payload is not stored twice.
+        self._rr_sets_list: Optional[List[np.ndarray]] = None
+        set_ptr = np.zeros(len(sets) + 1, dtype=_ID_DTYPE)
+        if sets:
+            lengths = np.fromiter(
+                (len(rr) for rr in sets), dtype=_ID_DTYPE, count=len(sets)
+            )
+            np.cumsum(lengths, out=set_ptr[1:])
+            set_vertices = (
+                np.concatenate(sets) if set_ptr[-1] else np.empty(0, _ID_DTYPE)
+            )
+        else:
+            set_vertices = np.empty(0, dtype=_ID_DTYPE)
+        if set_vertices.size:
+            lo, hi = set_vertices.min(), set_vertices.max()
+            if lo < 0 or hi >= n_vertices:
+                bad = int(
+                    np.argmin(set_vertices) if lo < 0 else np.argmax(set_vertices)
+                )
+                set_id = int(np.searchsorted(set_ptr, bad, side="right")) - 1
                 raise ValueError(
                     f"RR set {set_id} contains vertex outside [0, {n_vertices})"
                 )
+        self.set_ptr = set_ptr
+        self.set_vertices = set_vertices
         if inverted is None:
-            built: Dict[int, List[int]] = {}
-            for set_id, rr in enumerate(self.rr_sets):
-                for v in rr:
-                    built.setdefault(int(v), []).append(set_id)
-            inverted = {
-                v: np.asarray(ids, dtype=np.int64) for v, ids in built.items()
+            self.vtx_ptr, self.vtx_sets = _invert_csr(
+                n_vertices, set_ptr, set_vertices
+            )
+            self._inverted: Optional[Dict[int, np.ndarray]] = None
+        else:
+            self.vtx_ptr, self.vtx_sets = _dict_to_csr(n_vertices, inverted)
+            self._inverted = {
+                v: np.asarray(ids, dtype=_ID_DTYPE)
+                for v, ids in inverted.items()
             }
-        self.inverted: Dict[int, np.ndarray] = inverted
+
+    @classmethod
+    def from_csr(
+        cls,
+        n_vertices: int,
+        set_ptr: np.ndarray,
+        set_vertices: np.ndarray,
+        vtx_ptr: Optional[np.ndarray] = None,
+        vtx_sets: Optional[np.ndarray] = None,
+    ) -> "CoverageInstance":
+        """Wrap pre-built CSR arrays without touching Python containers.
+
+        The fast path for the query/serving layers, which assemble merged
+        instances by array concatenation.  Arrays are trusted (no range
+        re-validation); the inverted CSR is derived when not supplied.
+        """
+        if n_vertices < 0:
+            raise ValueError(f"n_vertices must be >= 0, got {n_vertices}")
+        instance = cls.__new__(cls)
+        instance.n_vertices = int(n_vertices)
+        instance.set_ptr = np.ascontiguousarray(set_ptr, dtype=_ID_DTYPE)
+        instance.set_vertices = np.ascontiguousarray(
+            set_vertices, dtype=_ID_DTYPE
+        )
+        if vtx_ptr is None or vtx_sets is None:
+            instance.vtx_ptr, instance.vtx_sets = _invert_csr(
+                instance.n_vertices, instance.set_ptr, instance.set_vertices
+            )
+        else:
+            instance.vtx_ptr = np.ascontiguousarray(vtx_ptr, dtype=_ID_DTYPE)
+            instance.vtx_sets = np.ascontiguousarray(vtx_sets, dtype=_ID_DTYPE)
+        instance._rr_sets_list = None
+        instance._inverted = None
+        return instance
 
     @property
     def n_sets(self) -> int:
         """Number of RR sets in the instance."""
-        return len(self.rr_sets)
+        return len(self.set_ptr) - 1
+
+    @property
+    def rr_sets(self) -> List[np.ndarray]:
+        """The RR sets as per-set arrays (views into the flat CSR)."""
+        if self._rr_sets_list is None:
+            if self.n_sets:
+                self._rr_sets_list = np.split(
+                    self.set_vertices, self.set_ptr[1:-1]
+                )
+            else:
+                self._rr_sets_list = []
+        return self._rr_sets_list
+
+    @property
+    def inverted(self) -> Dict[int, np.ndarray]:
+        """Legacy dict view ``vertex -> set ids`` (materialised lazily)."""
+        if self._inverted is None:
+            ptr = self.vtx_ptr
+            self._inverted = {
+                int(v): self.vtx_sets[ptr[v] : ptr[v + 1]]
+                for v in np.flatnonzero(np.diff(ptr))
+            }
+        return self._inverted
 
     def counts(self) -> np.ndarray:
         """Initial per-vertex coverage counts (length ``n_vertices``)."""
-        counts = np.zeros(self.n_vertices, dtype=np.int64)
-        for v, ids in self.inverted.items():
-            counts[v] = len(ids)
-        return counts
+        return np.diff(self.vtx_ptr)
+
+    def cover_vertex(
+        self, vertex: int, covered: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Mark ``vertex``'s uncovered sets covered; update ``counts``.
+
+        The greedy inner step, fully vectorised: gather the vertex's
+        still-uncovered set ids, slice their members out of the flat set
+        CSR in one pass, and decrement with ``np.subtract.at`` (which
+        handles vertices shared by several newly covered sets).
+        """
+        ids = self.vtx_sets[self.vtx_ptr[vertex] : self.vtx_ptr[vertex + 1]]
+        if not ids.size:
+            return
+        fresh = ids[~covered[ids]]
+        if not fresh.size:
+            return
+        covered[fresh] = True
+        # Gather the members of all fresh sets in one segmented-arange
+        # pass over the CSR payload (every fresh set is non-empty — it
+        # contains ``vertex``).
+        starts = self.set_ptr.take(fresh)
+        lengths = self.set_ptr.take(fresh + 1)
+        lengths -= starts
+        gather = segmented_arange(starts, lengths)
+        np.subtract.at(counts, self.set_vertices.take(gather), 1)
+
+
+def merge_coverage_csr(
+    n_vertices: int,
+    parts: Iterable[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+) -> CoverageInstance:
+    """Merge per-keyword CSR blocks into one coverage instance.
+
+    Each part is ``(set_ptr, set_vertices, inv_vertices, inv_sets)`` where
+    ``inv_vertices``/``inv_sets`` are aligned ``(vertex, global set id)``
+    pairs — already clipped to the active prefix and offset into the
+    merged set-id space.  Only array concatenation, one bincount and one
+    stable argsort; no per-vertex Python work.
+    """
+    parts = list(parts)
+    ptr_chunks: List[np.ndarray] = [np.zeros(1, dtype=_ID_DTYPE)]
+    offset = 0
+    for set_ptr, _sv, _iv, _is in parts:
+        ptr_chunks.append(np.asarray(set_ptr[1:], dtype=_ID_DTYPE) + offset)
+        offset += int(set_ptr[-1])
+    set_ptr = np.concatenate(ptr_chunks)
+    set_vertices = (
+        np.concatenate([p[1] for p in parts])
+        if parts
+        else np.empty(0, dtype=_ID_DTYPE)
+    )
+    inv_vertices = (
+        np.concatenate([p[2] for p in parts])
+        if parts
+        else np.empty(0, dtype=_ID_DTYPE)
+    )
+    inv_sets = (
+        np.concatenate([p[3] for p in parts])
+        if parts
+        else np.empty(0, dtype=_ID_DTYPE)
+    )
+    vtx_ptr = np.zeros(n_vertices + 1, dtype=_ID_DTYPE)
+    if inv_vertices.size:
+        np.cumsum(np.bincount(inv_vertices, minlength=n_vertices), out=vtx_ptr[1:])
+        order = np.argsort(inv_vertices, kind="stable")
+        vtx_sets = inv_sets[order]
+    else:
+        vtx_sets = np.empty(0, dtype=_ID_DTYPE)
+    return CoverageInstance.from_csr(
+        n_vertices, set_ptr, set_vertices, vtx_ptr, vtx_sets
+    )
 
 
 def greedy_max_coverage(
@@ -102,10 +309,7 @@ def greedy_max_coverage(
         seeds.append(best)
         marginals.append(int(counts[best]))
         selected[best] = True
-        for set_id in instance.inverted.get(best, ()):
-            if not covered[set_id]:
-                covered[set_id] = True
-                counts[instance.rr_sets[set_id]] -= 1
+        instance.cover_vertex(best, covered, counts)
     return seeds, marginals
 
 
@@ -116,29 +320,47 @@ def lazy_greedy_max_coverage(
 
     Coverage counts only decrease as sets become covered, so a popped heap
     entry whose stored count still matches the live count is globally
-    maximal.  Output is bit-identical to :func:`greedy_max_coverage`.
+    maximal.  Only vertices with a positive initial count enter the heap;
+    once the best live count hits zero every remaining pick is a
+    zero-marginal filler chosen by smallest id — exactly what the full
+    heap degenerates to.  Output is bit-identical to
+    :func:`greedy_max_coverage`.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     counts = instance.counts()
     covered = np.zeros(instance.n_sets, dtype=bool)
+    selected = np.zeros(instance.n_vertices, dtype=bool)
     # Heap of (-count, vertex); Python's tuple order gives the
-    # smallest-vertex-id tie break for equal counts.
-    heap = [(-int(counts[v]), v) for v in range(instance.n_vertices)]
+    # smallest-vertex-id tie break for equal counts.  tolist() converts
+    # both columns to Python ints in C before the tuples are built.
+    positive = np.flatnonzero(counts > 0)
+    heap = list(zip((-counts[positive]).tolist(), positive.tolist()))
     heapq.heapify(heap)
 
     seeds: List[int] = []
     marginals: List[int] = []
     while heap and len(seeds) < k:
-        neg_count, v = heapq.heappop(heap)
+        neg_count, v = heap[0]
         current = int(counts[v])
         if -neg_count != current:
-            heapq.heappush(heap, (-current, v))
+            heapq.heapreplace(heap, (-current, v))
             continue
+        if current == 0:
+            # Fresh top at zero: every remaining vertex has zero marginal.
+            break
+        heapq.heappop(heap)
         seeds.append(v)
         marginals.append(current)
-        for set_id in instance.inverted.get(v, ()):
-            if not covered[set_id]:
-                covered[set_id] = True
-                counts[instance.rr_sets[set_id]] -= 1
+        selected[v] = True
+        instance.cover_vertex(v, covered, counts)
+
+    filler = 0
+    limit = min(k, instance.n_vertices)
+    while len(seeds) < limit:
+        if not selected[filler]:
+            seeds.append(filler)
+            marginals.append(0)
+            selected[filler] = True
+        filler += 1
     return seeds, marginals

@@ -34,6 +34,7 @@ import heapq
 import json
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -46,6 +47,7 @@ from repro.core.rr_index import (
     BuildReport,
     KeywordMeta,
     RRIndexBuilder,
+    _invert,
     build_keyword_meta,
     plan_theta_q,
 )
@@ -67,6 +69,16 @@ _FORMAT_VERSION = 1
 
 #: Paper setting: "the partition size δ is set to 100 for all experiments".
 DEFAULT_PARTITION_SIZE = 100
+
+#: LRU capacity of the per-reader decoded-partition memo (see
+#: ``IRRIndex._decode_cache``): at δ=100 this bounds resident decoded
+#: state to a few hundred partitions regardless of index size.
+_DECODE_CACHE_PARTITIONS = 512
+
+#: LRU capacity of the per-reader IP_w memo.  IP maps are the largest
+#: per-keyword decoded structure (one entry per vertex occurring under
+#: the keyword), so they get the same bounded treatment.
+_IP_CACHE_KEYWORDS = 64
 
 
 class IRRIndexBuilder(RRIndexBuilder):
@@ -120,13 +132,9 @@ def partition_keyword(
     * ``ir_partitions[p]`` — RR-set ids assigned to partition ``p``;
     * ``ip_entries`` — ``(vertex, first occurrence)`` sorted by vertex.
     """
-    inverted: Dict[int, List[int]] = {}
-    for set_id, rr in enumerate(rr_sets):
-        for v in rr:
-            inverted.setdefault(int(v), []).append(set_id)
-    lists = [
-        (v, np.asarray(ids, dtype=np.int64)) for v, ids in inverted.items()
-    ]
+    # _invert is the vectorised argsort inversion shared with the RR
+    # builder; it yields ascending-vertex lists with ascending set ids.
+    lists = list(_invert(rr_sets))
     # Descending length; vertex id breaks ties deterministically.
     lists.sort(key=lambda item: (-len(item[1]), item[0]))
 
@@ -136,18 +144,19 @@ def partition_keyword(
     for start in range(0, len(lists), delta):
         block = lists[start : start + delta]
         il_partitions.append(block)
-        members: List[int] = []
-        for _v, ids in block:
-            for set_id in ids:
-                if not claimed[set_id]:
-                    claimed[set_id] = True
-                    members.append(int(set_id))
-        members.sort()
-        ir_partitions.append(members)
+        # A partition claims every not-yet-claimed set any of its lists
+        # touches; which sets those are is order-independent, so one
+        # unique + mask replaces the per-list scan.
+        if block:
+            ids = np.unique(np.concatenate([ids for _v, ids in block]))
+            fresh = ids[~claimed[ids]]
+            claimed[fresh] = True
+            ir_partitions.append([int(s) for s in fresh])
+        else:  # pragma: no cover - delta >= 1 keeps blocks non-empty
+            ir_partitions.append([])
 
-    ip_entries = sorted(
-        (v, int(ids[0])) for v, ids in inverted.items()
-    )
+    # First occurrence = head of each (ascending) inverted list.
+    ip_entries = sorted((v, int(ids[0])) for v, ids in lists)
     return il_partitions, ir_partitions, ip_entries
 
 
@@ -254,12 +263,16 @@ class _KeywordState:
     first_occurrence: Dict[int, int]  # IP_w
     next_partition: int = 0
     loaded_lists: Dict[int, np.ndarray] = None  # vertex -> active rr ids
-    covered: Set[int] = None
+    exact_counts: Dict[int, int] = None  # vertex -> active-and-uncovered
+    covered: np.ndarray = None  # bitmap over the active prefix
+    covered_n: int = 0
     members: Dict[int, np.ndarray] = None  # rr id -> member vertices
 
     def __post_init__(self) -> None:
         self.loaded_lists = {}
-        self.covered = set()
+        self.exact_counts = {}
+        self.covered = np.zeros(self.active_count, dtype=bool)
+        self.covered_n = 0
         self.members = {}
 
     @property
@@ -283,11 +296,9 @@ class _KeywordState:
         that never occurs at all) is exactly 0 without any load — the IP
         check of Section 5.2.
         """
-        ids = self.loaded_lists.get(vertex)
-        if ids is not None:
-            if not self.covered:
-                return len(ids)
-            return sum(1 for set_id in ids if int(set_id) not in self.covered)
+        exact = self.exact_counts.get(vertex)
+        if exact is not None:
+            return exact
         first = self.first_occurrence.get(vertex)
         if first is None or first >= self.active_count:
             return 0
@@ -321,6 +332,16 @@ class IRRIndex:
         self.delta = int(meta["delta"])
         self.catalog: Dict[str, KeywordMeta] = {}
         self._partition_info: Dict[str, Tuple[int, List[int]]] = {}
+        self._topic_names: Dict[int, str] = {}
+        # IP_w is immutable per keyword; decoded once and reused across
+        # queries (bounded LRU, like the partition memo below).
+        self._ip_cache: "OrderedDict[str, Dict[int, int]]" = OrderedDict()
+        # Decoded-partition memo: the bytes are still read through the
+        # pager on every logical load (I/O accounting is unchanged), but
+        # the CPU-side CSR decode of an immutable partition happens once.
+        # Bounded LRU so a long-lived reader never holds the whole index
+        # decoded in memory (mirrors KBTIMServer's capped keyword cache).
+        self._decode_cache: "OrderedDict[Tuple[str, int], tuple]" = OrderedDict()
         for name, entry in meta["keywords"].items():
             self.catalog[name] = KeywordMeta(
                 name=name,
@@ -335,6 +356,7 @@ class IRRIndex:
                 int(entry["n_partitions"]),
                 [int(x) for x in entry["partition_first_lens"]],
             )
+            self._topic_names[int(entry["topic_id"])] = name
 
     # ------------------------------------------------------------------
     def keywords(self) -> List[str]:
@@ -342,9 +364,24 @@ class IRRIndex:
         return sorted(self.catalog)
 
     def _load_ip(self, keyword: str) -> Dict[int, int]:
-        """Load the first-occurrence map ``IP_w`` (one read)."""
-        entries = InvertedListsRecord.decode(self._reader.read(f"ip/{keyword}"))
-        return {vertex: int(ids[0]) for vertex, ids in entries}
+        """Load the first-occurrence map ``IP_w`` (one read).
+
+        Batch-decoded: IP stores one single-id list per vertex, so the
+        firsts are exactly the flat payload.  Cached per keyword — the
+        map is immutable index data.
+        """
+        cached = self._ip_cache.get(keyword)
+        if cached is not None:
+            self._ip_cache.move_to_end(keyword)
+            return cached
+        keys, ptr, flat = InvertedListsRecord.decode_csr(
+            self._reader.read(f"ip/{keyword}")
+        )
+        result = dict(zip(keys.tolist(), flat[ptr[:-1]].tolist()))
+        if len(self._ip_cache) >= _IP_CACHE_KEYWORDS:
+            self._ip_cache.popitem(last=False)
+        self._ip_cache[keyword] = result
+        return result
 
     # ------------------------------------------------------------------
     def query(self, query: KBTIMQuery) -> SeedSelection:
@@ -401,28 +438,65 @@ class IRRIndex:
                 if state.exhausted:
                     continue
                 p = state.next_partition
-                il = InvertedListsRecord.decode(
-                    self._reader.read(f"il/{kw}/{p}")
-                )
-                ir = InvertedListsRecord.decode(
-                    self._reader.read(f"ir/{kw}/{p}")
-                )
+                ir_record = self._reader.read(f"ir/{kw}/{p}")
+                il_record = self._reader.read(f"il/{kw}/{p}")
+                cached = self._decode_cache.get((kw, p))
+                if cached is None:
+                    cached = InvertedListsRecord.decode_csr(
+                        ir_record
+                    ) + InvertedListsRecord.decode_csr(il_record)
+                    if len(self._decode_cache) >= _DECODE_CACHE_PARTITIONS:
+                        self._decode_cache.popitem(last=False)
+                    self._decode_cache[kw, p] = cached
+                else:
+                    self._decode_cache.move_to_end((kw, p))
+                ir_keys, ir_ptr, ir_flat, il_keys, il_ptr, il_flat = cached
                 partitions_loaded += 1
-                for set_id, member_vertices in ir:
-                    set_id = int(set_id)
-                    state.members[set_id] = member_vertices
-                    # Count only *active* sets (id < θ^Q_w) so the metric
-                    # is comparable with the RR index's prefix count; the
-                    # partition also carries sets beyond the active prefix
-                    # whose bytes show up in the I/O stats instead.
-                    if set_id < state.active_count:
-                        rr_sets_loaded += 1
-                state.next_partition += 1
-                for vertex, set_ids in il:
-                    active = set_ids[
-                        : np.searchsorted(set_ids, state.active_count)
+                ir_bounds = ir_ptr.tolist()
+                for i, set_id in enumerate(ir_keys.tolist()):
+                    state.members[set_id] = ir_flat[
+                        ir_bounds[i] : ir_bounds[i + 1]
                     ]
-                    state.loaded_lists[vertex] = active
+                # Count only *active* sets (id < θ^Q_w) so the metric is
+                # comparable with the RR index's prefix count; the
+                # partition also carries sets beyond the active prefix
+                # whose bytes show up in the I/O stats instead.
+                rr_sets_loaded += int(
+                    np.count_nonzero(ir_keys < state.active_count)
+                )
+                state.next_partition += 1
+                # Clip every list to the active prefix in one mask pass
+                # (per-vertex ids are ascending, so the mask is a prefix).
+                active_mask = il_flat < state.active_count
+                if len(il_flat):
+                    segments = np.repeat(
+                        np.arange(len(il_keys)), np.diff(il_ptr)
+                    )
+                    lengths = np.bincount(
+                        segments[active_mask], minlength=len(il_keys)
+                    )
+                else:
+                    lengths = np.zeros(len(il_keys), dtype=np.int64)
+                clipped = il_flat[active_mask]
+                # Exact counts seeded per vertex: clipped length minus any
+                # sets already covered by previously confirmed seeds; from
+                # here on they are maintained incrementally.
+                if state.covered_n and len(clipped):
+                    covered_per = np.bincount(
+                        np.repeat(np.arange(len(il_keys)), lengths)[
+                            state.covered[clipped]
+                        ],
+                        minlength=len(il_keys),
+                    )
+                    exact = (lengths - covered_per).tolist()
+                else:
+                    exact = lengths.tolist()
+                bounds = np.cumsum(lengths).tolist()
+                prev = 0
+                for i, vertex in enumerate(il_keys.tolist()):
+                    state.loaded_lists[vertex] = clipped[prev : bounds[i]]
+                    state.exact_counts[vertex] = exact[i]
+                    prev = bounds[i]
                     if vertex not in selected and vertex not in enqueued:
                         bound, _complete = upper_bound(vertex)
                         heapq.heappush(pq, (-bound, vertex))
@@ -473,16 +547,27 @@ class IRRIndex:
                 for kw in keywords:
                     state = states[kw]
                     ids = state.loaded_lists.get(vertex)
-                    if ids is None:
+                    if ids is None or not len(ids):
                         continue
-                    for set_id in ids:
-                        set_id = int(set_id)
-                        if set_id in state.covered:
-                            continue
-                        state.covered.add(set_id)
+                    fresh = ids[~state.covered[ids]]
+                    if not len(fresh):
+                        continue
+                    state.covered[fresh] = True
+                    state.covered_n += len(fresh)
+                    exact_counts = state.exact_counts
+                    for set_id in fresh.tolist():
                         members = state.members.get(set_id)
-                        if members is not None:
-                            dirty.update(int(u) for u in members)
+                        if members is None:
+                            continue
+                        # Every member of a newly covered set loses one
+                        # active-uncovered unit; vertices whose lists are
+                        # not loaded yet have no entry and are seeded with
+                        # the covered-adjusted count at load time.
+                        for u in members.tolist():
+                            current = exact_counts.get(u)
+                            if current is not None:
+                                exact_counts[u] = current - 1
+                            dirty.add(u)
             else:
                 if not load_next_partitions():
                     raise IndexError_(
@@ -509,10 +594,10 @@ class IRRIndex:
     def _resolve(self, keyword) -> str:
         if isinstance(keyword, str):
             return keyword
-        for name, meta in self.catalog.items():
-            if meta.topic_id == keyword:
-                return name
-        raise IndexError_(f"topic id {keyword!r} is not in the index")
+        name = self._topic_names.get(keyword)
+        if name is None:
+            raise IndexError_(f"topic id {keyword!r} is not in the index")
+        return name
 
     def close(self) -> None:
         """Release the underlying file."""

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
+from repro.core.coverage import lazy_greedy_max_coverage, merge_coverage_csr
 from repro.core.offline import KeywordTable, sample_keyword_tables
 from repro.core.query import KBTIMQuery
 from repro.core.results import QueryStats, SeedSelection
@@ -241,14 +241,136 @@ def write_rr_index(
 
 
 def _invert(rr_sets: Sequence[np.ndarray]) -> List[Tuple[int, np.ndarray]]:
-    """Vertex → ascending RR-set ids (the ``L_w`` of Figure 2)."""
-    inverted: Dict[int, List[int]] = {}
-    for set_id, rr in enumerate(rr_sets):
-        for v in rr:
-            inverted.setdefault(int(v), []).append(set_id)
+    """Vertex → ascending RR-set ids (the ``L_w`` of Figure 2).
+
+    One stable argsort over the flattened sets instead of a per-vertex
+    dict build; stability keeps each vertex's set ids ascending.
+    """
+    if not rr_sets:
+        return []
+    lengths = np.fromiter(
+        (len(rr) for rr in rr_sets), dtype=np.int64, count=len(rr_sets)
+    )
+    if not lengths.sum():
+        return []
+    flat = np.concatenate([np.asarray(rr, dtype=np.int64) for rr in rr_sets])
+    set_ids = np.repeat(np.arange(len(rr_sets), dtype=np.int64), lengths)
+    order = np.argsort(flat, kind="stable")
+    sorted_vertices = flat[order]
+    sorted_ids = set_ids[order]
+    bounds = np.flatnonzero(np.diff(sorted_vertices)) + 1
+    starts = np.concatenate(([0], bounds))
     return [
-        (v, np.asarray(ids, dtype=np.int64)) for v, ids in sorted(inverted.items())
+        (int(sorted_vertices[start]), ids)
+        for start, ids in zip(starts, np.split(sorted_ids, bounds))
     ]
+
+
+class KeywordCoverageCSR:
+    """Flat-CSR view of one decoded keyword block (RR sets + ``L_w``).
+
+    ``set_ptr``/``set_vertices`` hold the RR sets back to back;
+    ``inv_vertices``/``inv_sets`` hold the inverted lists as aligned
+    ``(vertex, set id)`` pairs in vertex-major order.  Built once per
+    decode (the only remaining per-list Python is three comprehensions
+    over the decoded tuples); clipping to a query's active prefix is then
+    pure array slicing/masking.
+    """
+
+    __slots__ = ("set_ptr", "set_vertices", "inv_vertices", "inv_sets")
+
+    def __init__(
+        self,
+        set_ptr: np.ndarray,
+        set_vertices: np.ndarray,
+        inv_vertices: np.ndarray,
+        inv_sets: np.ndarray,
+    ) -> None:
+        self.set_ptr = set_ptr
+        self.set_vertices = set_vertices
+        self.inv_vertices = inv_vertices
+        self.inv_sets = inv_sets
+
+    @classmethod
+    def from_decoded(
+        cls,
+        rr_sets: Sequence[np.ndarray],
+        inverted_lists: Sequence[Tuple[int, np.ndarray]],
+    ) -> "KeywordCoverageCSR":
+        set_ptr = np.zeros(len(rr_sets) + 1, dtype=np.int64)
+        if rr_sets:
+            np.cumsum(
+                np.fromiter(
+                    (len(rr) for rr in rr_sets),
+                    dtype=np.int64,
+                    count=len(rr_sets),
+                ),
+                out=set_ptr[1:],
+            )
+        set_vertices = (
+            np.concatenate(rr_sets) if set_ptr[-1] else np.empty(0, np.int64)
+        )
+        if inverted_lists:
+            keys = np.fromiter(
+                (v for v, _ in inverted_lists),
+                dtype=np.int64,
+                count=len(inverted_lists),
+            )
+            lengths = np.fromiter(
+                (len(ids) for _, ids in inverted_lists),
+                dtype=np.int64,
+                count=len(inverted_lists),
+            )
+            inv_vertices = np.repeat(keys, lengths)
+            inv_sets = (
+                np.concatenate([ids for _, ids in inverted_lists])
+                if lengths.sum()
+                else np.empty(0, np.int64)
+            )
+        else:
+            inv_vertices = np.empty(0, dtype=np.int64)
+            inv_sets = np.empty(0, dtype=np.int64)
+        return cls(set_ptr, set_vertices, inv_vertices, inv_sets)
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        set_ptr: np.ndarray,
+        set_vertices: np.ndarray,
+        inv_keys: np.ndarray,
+        inv_ptr: np.ndarray,
+        inv_flat: np.ndarray,
+    ) -> "KeywordCoverageCSR":
+        """Wrap the batch-decoded CSR arrays (zero per-list Python)."""
+        return cls(
+            set_ptr,
+            set_vertices,
+            np.repeat(inv_keys, np.diff(inv_ptr)),
+            inv_flat,
+        )
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.set_ptr) - 1
+
+    def active_part(
+        self, count: int, base: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Clip to the first ``count`` sets and offset ids by ``base``.
+
+        Returns a ``(set_ptr, set_vertices, inv_vertices, inv_sets)``
+        part for :func:`~repro.core.coverage.merge_coverage_csr` — the
+        array-level replacement of the per-vertex prefix-clip loop.
+        """
+        set_ptr = self.set_ptr[: count + 1]
+        set_vertices = self.set_vertices[: int(set_ptr[-1])]
+        active = self.inv_sets < count
+        return (
+            set_ptr,
+            set_vertices,
+            self.inv_vertices[active],
+            self.inv_sets[active] + base,
+        )
 
 
 class RRIndex:
@@ -292,6 +414,11 @@ class RRIndex:
                 n_sets=int(entry["n_sets"]),
             )
             for name, entry in meta["keywords"].items()
+        }
+        # topic id -> name, precomputed so _resolve is a dict hit instead
+        # of a per-keyword linear scan of the catalog.
+        self._topic_names: Dict[int, str] = {
+            meta_entry.topic_id: name for name, meta_entry in self.catalog.items()
         }
         # Record headers + group offset tables, loaded once at open.
         self._headers: Dict[str, Tuple[int, int, int, int, np.ndarray]] = {}
@@ -340,6 +467,34 @@ class RRIndex:
             raise IndexError_(f"keyword {keyword!r} is not in the index")
         return InvertedListsRecord.decode(self._reader.read(f"inv/{keyword}"))
 
+    def load_keyword_csr(self, keyword: str, count: int) -> KeywordCoverageCSR:
+        """Load one keyword's query block as flat CSR (two bounded reads).
+
+        The same ``θ^Q·p_w`` RR-prefix read and full ``L_w`` read as
+        :meth:`load_rr_prefix` + :meth:`load_inverted_lists`, but decoded
+        through the batch decoder straight into
+        :class:`KeywordCoverageCSR` — no per-list Python arrays.
+        """
+        meta = self.catalog.get(keyword)
+        if meta is None:
+            raise IndexError_(f"keyword {keyword!r} is not in the index")
+        if count > meta.n_sets:
+            raise IndexError_(
+                f"requested {count} RR sets but {keyword!r} stores {meta.n_sets}"
+            )
+        _n_sets, group_size, payload_len, payload_start, offsets = self._headers[
+            keyword
+        ]
+        end = RRSetsRecord.prefix_payload_end(offsets, payload_len, group_size, count)
+        payload = self._reader.read_range(f"rr/{keyword}", payload_start, end)
+        set_ptr, set_vertices = RRSetsRecord.decode_prefix_csr(payload, count)
+        keys, inv_ptr, inv_flat = InvertedListsRecord.decode_csr(
+            self._reader.read(f"inv/{keyword}")
+        )
+        return KeywordCoverageCSR.from_csr_arrays(
+            set_ptr, set_vertices, keys, inv_ptr, inv_flat
+        )
+
     # ------------------------------------------------------------------
     def query(self, query: KBTIMQuery) -> SeedSelection:
         """Algorithm 2: plan θ^Q, load prefixes, greedy maximum coverage."""
@@ -355,25 +510,19 @@ class RRIndex:
         # Merge per-keyword prefixes into one coverage instance with global
         # set ids; the stored L_w lists are offset and clipped to the active
         # prefix (Example 5 loads all of L_music/L_book but only rr1-rr9 /
-        # rr1-rr4 of the set regions).
-        merged: List[np.ndarray] = []
-        merged_inverted: Dict[int, List[np.ndarray]] = {}
+        # rr1-rr4 of the set regions).  Each keyword becomes one flat-CSR
+        # part; the clip and merge are array slices, not per-vertex loops.
+        parts = []
         base = 0
         for kw in keywords:
             count = counts[kw]
-            merged.extend(self.load_rr_prefix(kw, count))
-            for vertex, set_ids in self.load_inverted_lists(kw):
-                active = set_ids[: np.searchsorted(set_ids, count)]
-                if len(active):
-                    merged_inverted.setdefault(vertex, []).append(active + base)
+            block = self.load_keyword_csr(kw, count)
+            parts.append(block.active_part(count, base))
             base += count
-        inverted = {
-            v: np.concatenate(parts) for v, parts in merged_inverted.items()
-        }
-        instance = CoverageInstance(self.n_vertices, merged, inverted)
+        instance = merge_coverage_csr(self.n_vertices, parts)
         seeds, marginals = lazy_greedy_max_coverage(instance, query.k)
 
-        theta_used = len(merged)
+        theta_used = instance.n_sets
         stats = QueryStats(
             elapsed_seconds=time.perf_counter() - started,
             rr_sets_considered=theta_used,
@@ -390,13 +539,13 @@ class RRIndex:
 
     # ------------------------------------------------------------------
     def _resolve(self, keyword) -> str:
-        """Accept topic names directly; ids resolve through the catalog."""
+        """Accept topic names directly; ids resolve through the id map."""
         if isinstance(keyword, str):
             return keyword
-        for name, meta in self.catalog.items():
-            if meta.topic_id == keyword:
-                return name
-        raise IndexError_(f"topic id {keyword!r} is not in the index")
+        name = self._topic_names.get(keyword)
+        if name is None:
+            raise IndexError_(f"topic id {keyword!r} is not in the index")
+        return name
 
     def close(self) -> None:
         """Release the underlying file."""

@@ -61,7 +61,20 @@ def sample_weighted_roots(
     total = probabilities.sum()
     if not np.isclose(total, 1.0, atol=1e-9):
         raise ValueError(f"root probabilities must sum to 1, got {total}")
-    return as_rng(rng).choice(users, size=theta, p=probabilities)
+    if len(probabilities) and probabilities.min() < 0:
+        # Generator.choice rejected these; a negative entry would make the
+        # cumsum CDF non-monotonic and silently mis-sample.
+        raise ValueError("root probabilities must be non-negative")
+    # One cumulative sum + binary search instead of Generator.choice, which
+    # re-validates and re-normalises p on every call.  Uniform draws are
+    # scaled by the CDF's own final value (not the pairwise `total`, which
+    # can differ by an ulp) so a draw can never land past the last positive
+    # mass and select a zero-probability trailing user; the clip is a
+    # belt-and-braces guard.
+    cdf = np.cumsum(probabilities)
+    draws = as_rng(rng).random(theta) * cdf[-1]
+    index = np.searchsorted(cdf, draws, side="right")
+    return users[np.minimum(index, len(users) - 1)]
 
 
 def sample_rr_sets(
@@ -69,9 +82,15 @@ def sample_rr_sets(
     roots: Sequence[int],
     rng: RngLike = None,
 ) -> List[np.ndarray]:
-    """One RR set per root, in root order."""
+    """One RR set per root, in root order.
+
+    Dispatches to the model's batched multi-root sampler
+    (:meth:`~repro.propagation.base.PropagationModel.sample_rr_sets_batch`);
+    IC expands all θ frontiers simultaneously with vectorised kernels,
+    while models without a batched kernel fall back to per-root walks.
+    """
     gen = as_rng(rng)
-    return [model.sample_rr_set(int(root), gen) for root in roots]
+    return list(model.sample_rr_sets_batch(roots, gen))
 
 
 def mean_rr_set_size(rr_sets: Sequence[np.ndarray]) -> float:

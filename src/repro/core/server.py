@@ -19,14 +19,14 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
+from repro.core.coverage import lazy_greedy_max_coverage, merge_coverage_csr
 from repro.core.query import KBTIMQuery
 from repro.core.results import QueryStats, SeedSelection
-from repro.core.rr_index import RRIndex, plan_theta_q
+from repro.core.rr_index import KeywordCoverageCSR, RRIndex, plan_theta_q
 from repro.errors import QueryError
 from repro.utils.validation import check_positive_int
 
@@ -62,15 +62,18 @@ class ServerStats:
 
 
 class _KeywordBlock:
-    """Fully decoded per-keyword data: RR sets + inverted lists."""
+    """Fully decoded per-keyword data, CSR-ified once at admission.
 
-    __slots__ = ("rr_sets", "inverted")
+    The decode *and* the flattening into
+    :class:`~repro.core.rr_index.KeywordCoverageCSR` happen on the cache
+    miss; a warm query then clips the block with array slicing only — no
+    per-vertex Python work at all.
+    """
 
-    def __init__(
-        self, rr_sets: List[np.ndarray], inverted: List[Tuple[int, np.ndarray]]
-    ) -> None:
-        self.rr_sets = rr_sets
-        self.inverted = inverted
+    __slots__ = ("csr",)
+
+    def __init__(self, csr: KeywordCoverageCSR) -> None:
+        self.csr = csr
 
 
 class KBTIMServer:
@@ -103,10 +106,7 @@ class KBTIMServer:
         meta = self.index.catalog.get(keyword)
         if meta is None:
             raise QueryError(f"keyword {keyword!r} is not in the index")
-        block = _KeywordBlock(
-            rr_sets=self.index.load_rr_prefix(keyword, meta.n_sets),
-            inverted=self.index.load_inverted_lists(keyword),
-        )
+        block = _KeywordBlock(self.index.load_keyword_csr(keyword, meta.n_sets))
         if len(self._blocks) >= self.cache_keywords:
             self._blocks.popitem(last=False)
         self._blocks[keyword] = block
@@ -125,30 +125,20 @@ class KBTIMServer:
         keywords = [self.index._resolve(kw) for kw in query.keywords]
         _theta_q, counts, phi_q = plan_theta_q(keywords, self.index.catalog)
 
-        merged: List[np.ndarray] = []
-        merged_inverted: Dict[int, List[np.ndarray]] = {}
+        parts = []
         base = 0
         for kw in keywords:
             count = counts[kw]
-            block = self._block(kw)
-            merged.extend(block.rr_sets[:count])
-            for vertex, set_ids in block.inverted:
-                active = set_ids[: np.searchsorted(set_ids, count)]
-                if len(active):
-                    merged_inverted.setdefault(vertex, []).append(active + base)
+            parts.append(self._block(kw).csr.active_part(count, base))
             base += count
-        inverted = {
-            v: np.concatenate(parts) if len(parts) > 1 else parts[0]
-            for v, parts in merged_inverted.items()
-        }
-        instance = CoverageInstance(self.index.n_vertices, merged, inverted)
+        instance = merge_coverage_csr(self.index.n_vertices, parts)
         seeds, marginals = lazy_greedy_max_coverage(instance, query.k)
 
         elapsed = time.perf_counter() - started
         self.stats.queries += 1
         self.stats.total_seconds += elapsed
         self.stats.latencies.append(elapsed)
-        theta_used = len(merged)
+        theta_used = instance.n_sets
         stats = QueryStats(
             elapsed_seconds=elapsed,
             rr_sets_considered=theta_used,

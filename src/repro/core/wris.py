@@ -12,6 +12,10 @@ a variant of the state-of-the-art RIS methods"):
 θ from Theorem 2 yields the ``(1 - 1/e - ε)`` guarantee.  Everything
 happens at query time — which is precisely why Figures 5-7 show it two
 orders of magnitude slower than the indexes.
+
+Both hot steps ride the flat-CSR fast path: root draws and RR sampling go
+through the batched samplers in :mod:`repro.core.sampler`, and the greedy
+runs on the CSR-backed :class:`~repro.core.coverage.CoverageInstance`.
 """
 
 from __future__ import annotations

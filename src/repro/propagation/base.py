@@ -9,12 +9,12 @@ distribution.  This base class pins down that contract.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
-from repro.utils.rng import RngLike
+from repro.utils.rng import RngLike, as_rng
 
 __all__ = ["PropagationModel", "validate_seed_set"]
 
@@ -43,6 +43,20 @@ class PropagationModel(ABC):
         ``root`` in a live-edge world sampled from the model; always
         contains ``root`` itself.
         """
+
+    def sample_rr_sets_batch(
+        self, roots: Sequence[int], rng: RngLike = None
+    ) -> List[np.ndarray]:
+        """Draw one RR set per root, in root order.
+
+        The default walks :meth:`sample_rr_set` root by root; models with
+        a vectorised multi-root sampler (IC) override this with a batched
+        kernel that draws from the same distribution.  Callers must treat
+        the two as statistically — not bitwise — interchangeable, since a
+        batched kernel consumes the ``rng`` stream in a different order.
+        """
+        gen = as_rng(rng)
+        return [self.sample_rr_set(int(root), gen) for root in roots]
 
     @abstractmethod
     def simulate(self, seeds: Sequence[int], rng: RngLike = None) -> np.ndarray:

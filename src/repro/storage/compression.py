@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import StorageError
 from repro.storage.bitpack import bits_needed, pack_fixed_width, unpack_fixed_width
+from repro.utils.segments import segmented_arange
 from repro.storage.varint import (
     decode_varint,
     decode_varints,
@@ -33,10 +34,27 @@ from repro.storage.varint import (
     encode_varints,
 )
 
-__all__ = ["Codec", "compress_ids", "decompress_ids"]
+__all__ = [
+    "Codec",
+    "compress_ids",
+    "decompress_ids",
+    "decompress_ids_batch",
+    "BatchIdDecoder",
+]
 
 _PFOR_BLOCK = 128
 _PFOR_COVERAGE = 0.90
+
+# Tag bytes hoisted out of the Enum: read_list touches them per list and
+# Enum attribute access costs more than the rest of the header parse.
+_RAW_TAG = 0
+_VARINT_TAG = 1
+_PFOR_TAG = 2
+
+#: Value-bit budget per vectorised unpack batch in BatchIdDecoder.finish;
+#: bounds the transient bit/gather/value arrays to tens of MB no matter
+#: how large one record's width group is.
+_FINISH_BIT_BUDGET = 1 << 22
 
 
 class Codec(enum.Enum):
@@ -164,6 +182,214 @@ def _pfor_decode(data: bytes, count: int, offset: int) -> Tuple[np.ndarray, int]
         gaps[filled : filled + block_len] = block
         filled += block_len
     return gaps, pos
+
+
+class BatchIdDecoder:
+    """Amortised decoder for many concatenated id lists.
+
+    ``decompress_ids`` pays ~20µs of fixed numpy/python overhead per list
+    — ruinous when an index query decodes thousands of *tiny* lists.  The
+    batch decoder splits the work into
+
+    1. a light sequential pass (:meth:`read_list`) that only parses the
+       self-describing headers and records where each PFoR block's packed
+       payload lives, and
+    2. one vectorised pass (:meth:`finish`) that bit-unpacks all blocks
+       *grouped by width* with a single ``unpackbits`` + gather + matmul
+       per distinct width, patches exceptions, and turns gaps into ids
+       with one segmented cumsum over the flat array.
+
+    The output is already the flat-CSR shape (``ptr``, ``ids``) the
+    coverage engine consumes, so no per-list arrays are materialised at
+    all.  Decoded values are bit-identical to ``decompress_ids``.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._counts: list = []
+        # PFoR blocks in parallel lists (turned into arrays in finish()):
+        self._block_width: list = []
+        self._block_pos: list = []
+        self._block_len: list = []
+        self._block_dest: list = []
+        # Exceptions: (dest position, excess, width)
+        self._exceptions: list = []
+        # Lists whose gap values are produced eagerly: (dest offset, array)
+        self._eager: list = []
+        self._dest = 0
+
+    def read_list(self, offset: int) -> int:
+        """Parse one list's headers at ``offset``; returns the next offset."""
+        data = self._data
+        if offset >= len(data):
+            raise StorageError("truncated id list: missing codec tag")
+        tag = data[offset]
+        if tag > _PFOR_TAG:
+            raise StorageError(f"unknown codec tag {tag}")
+        pos = offset + 1
+        # Inlined single-byte varint fast path (lists are usually short).
+        if pos < len(data) and data[pos] < 0x80:
+            count = data[pos]
+            pos += 1
+        else:
+            count, pos = decode_varint(data, pos)
+        self._counts.append(count)
+        if count == 0:
+            return pos
+        if tag == _RAW_TAG:
+            nbytes = count * 8
+            if pos + nbytes > len(data):
+                raise StorageError("truncated RAW id list")
+            ids = np.frombuffer(data, dtype="<u8", count=count, offset=pos)
+            # Store first-differences so the segmented cumsum in finish()
+            # reproduces the absolute ids exactly.
+            gaps = np.empty(count, dtype=np.uint64)
+            gaps[0] = ids[0]
+            if count > 1:
+                np.subtract(ids[1:], ids[:-1], out=gaps[1:])
+            self._eager.append((self._dest, gaps))
+            self._dest += count
+            return pos + nbytes
+        if tag == _VARINT_TAG:
+            gaps, pos = decode_varints(data, count, pos)
+            self._eager.append(
+                (self._dest, np.asarray(gaps, dtype=np.uint64))
+            )
+            self._dest += count
+            return pos
+        if tag != _PFOR_TAG:
+            raise StorageError(f"unknown codec tag {tag}")
+        filled = 0
+        while filled < count:
+            block_len = min(_PFOR_BLOCK, count - filled)
+            if pos >= len(data):
+                raise StorageError("truncated PFoR block header")
+            width = data[pos]
+            pos += 1
+            if not 1 <= width <= 64:
+                raise StorageError(f"bad PFoR width {width}")
+            if pos < len(data) and data[pos] < 0x80:
+                n_exceptions = data[pos]
+                pos += 1
+            else:
+                n_exceptions, pos = decode_varint(data, pos)
+            for _ in range(n_exceptions):
+                p, pos = decode_varint(data, pos)
+                excess, pos = decode_varint(data, pos)
+                if p >= block_len:
+                    raise StorageError("PFoR exception position out of range")
+                self._exceptions.append((self._dest + filled + p, excess, width))
+            payload_bytes = (width * block_len + 7) // 8
+            if pos + payload_bytes > len(data):
+                raise StorageError("truncated PFoR payload")
+            self._block_width.append(width)
+            self._block_pos.append(pos)
+            self._block_len.append(block_len)
+            self._block_dest.append(self._dest + filled)
+            pos += payload_bytes
+            filled += block_len
+        self._dest += count
+        return pos
+
+    def finish(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode everything read so far into ``(ptr, flat_ids)``."""
+        counts = np.asarray(self._counts, dtype=np.int64)
+        ptr = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        total = self._dest
+        gaps = np.empty(total, dtype=np.uint64)
+
+        # One vectorised unpack per distinct PFoR width, in batches
+        # bounded by _FINISH_BIT_BUDGET so the transient bit/gather/value
+        # arrays stay small no matter how large the record is.
+        if self._block_width:
+            widths = np.asarray(self._block_width, dtype=np.int64)
+            positions = np.asarray(self._block_pos, dtype=np.int64)
+            block_lens = np.asarray(self._block_len, dtype=np.int64)
+            dests = np.asarray(self._block_dest, dtype=np.int64)
+            order = np.argsort(widths, kind="stable")
+            widths = widths[order]
+            group_bounds = np.flatnonzero(np.diff(widths)) + 1
+            group_starts = np.concatenate(([0], group_bounds, [len(widths)]))
+            for g in range(len(group_starts) - 1):
+                lo, hi = int(group_starts[g]), int(group_starts[g + 1])
+                self._unpack_width_group(
+                    int(widths[lo]),
+                    positions[order[lo:hi]],
+                    block_lens[order[lo:hi]],
+                    dests[order[lo:hi]],
+                    gaps,
+                )
+
+        for dest, eager in self._eager:
+            gaps[dest : dest + len(eager)] = eager
+        for dest, excess, width in self._exceptions:
+            gaps[dest] |= np.uint64(excess) << np.uint64(width)
+
+        # Segmented prefix sum: one global cumsum, then subtract each
+        # list's running base so ids restart at every list boundary.
+        flat = np.cumsum(gaps.astype(np.int64))
+        if total:
+            bases = np.where(
+                ptr[:-1] > 0, flat[np.maximum(ptr[:-1], 1) - 1], 0
+            )
+            flat -= bases.repeat(counts)
+        return ptr, flat
+
+    def _unpack_width_group(
+        self,
+        width: int,
+        positions: np.ndarray,
+        value_counts: np.ndarray,
+        dests: np.ndarray,
+        gaps: np.ndarray,
+    ) -> None:
+        """Bit-unpack all blocks of one width into ``gaps``, batched."""
+        data = self._data
+        byte_lens = (width * value_counts + 7) // 8
+        cum_bits = np.cumsum(value_counts * width)
+        pos_list = positions.tolist()
+        byte_list = byte_lens.tolist()
+        weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+        start = 0
+        n = len(positions)
+        while start < n:
+            base = int(cum_bits[start - 1]) if start else 0
+            stop = int(
+                np.searchsorted(cum_bits, base + _FINISH_BIT_BUDGET, "right")
+            )
+            stop = max(start + 1, min(stop, n))
+            counts_chunk = value_counts[start:stop]
+            bytes_chunk = byte_lens[start:stop]
+            packed = np.frombuffer(
+                b"".join(
+                    data[p : p + byte_list[start + i]]
+                    for i, p in enumerate(pos_list[start:stop])
+                ),
+                dtype=np.uint8,
+            )
+            bits = np.unpackbits(packed, bitorder="little")
+            # Each block's values start at its byte-aligned bit offset.
+            bit_starts = np.empty(stop - start, dtype=np.int64)
+            bit_starts[0] = 0
+            np.cumsum(bytes_chunk[:-1], out=bit_starts[1:])
+            bit_starts *= 8
+            gather = segmented_arange(bit_starts, counts_chunk * width)
+            values = bits[gather].reshape(-1, width).astype(np.uint64) @ weights
+            gaps[segmented_arange(dests[start:stop], counts_chunk)] = values
+            start = stop
+
+
+def decompress_ids_batch(
+    data: bytes, n_lists: int, offset: int = 0
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Decode ``n_lists`` back-to-back lists into ``(ptr, flat_ids, end)``."""
+    decoder = BatchIdDecoder(data)
+    pos = offset
+    for _ in range(n_lists):
+        pos = decoder.read_list(pos)
+    ptr, flat = decoder.finish()
+    return ptr, flat, pos
 
 
 def _choose_width(block: np.ndarray) -> int:

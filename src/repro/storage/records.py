@@ -22,7 +22,12 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import StorageError
-from repro.storage.compression import Codec, compress_ids, decompress_ids
+from repro.storage.compression import (
+    BatchIdDecoder,
+    Codec,
+    compress_ids,
+    decompress_ids,
+)
 from repro.storage.varint import decode_varint, encode_varint
 
 __all__ = ["RRSetsRecord", "InvertedListsRecord"]
@@ -131,6 +136,22 @@ class RRSetsRecord:
         return sets
 
     @staticmethod
+    def decode_prefix_csr(
+        payload: bytes, count: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decode the first ``count`` sets straight into flat CSR arrays.
+
+        Returns ``(set_ptr, set_vertices)`` — what the coverage engine
+        consumes — via the batch decoder, skipping per-set array
+        materialisation entirely.
+        """
+        decoder = BatchIdDecoder(payload)
+        pos = 0
+        for _ in range(count):
+            pos = decoder.read_list(pos)
+        return decoder.finish()
+
+    @staticmethod
     def decode_all(record: bytes) -> List[np.ndarray]:
         """Decode a complete record produced by :meth:`encode`."""
         n_sets, _group_size, payload_len, payload_start = RRSetsRecord.read_header(
@@ -184,3 +205,28 @@ class InvertedListsRecord:
         if pos != payload_len:
             raise StorageError("InvertedListsRecord has trailing bytes")
         return lists
+
+    @staticmethod
+    def decode_csr(record: bytes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode a record into ``(keys, ptr, flat_ids)`` CSR arrays.
+
+        ``keys[i]``'s id list is ``flat_ids[ptr[i]:ptr[i+1]]``; the heavy
+        per-list numeric work is amortised through the batch decoder.
+        """
+        if len(record) < _INV_HEADER.size:
+            raise StorageError("InvertedListsRecord header truncated")
+        n_lists, payload_len = _INV_HEADER.unpack_from(record, 0)
+        payload = record[_INV_HEADER.size : _INV_HEADER.size + payload_len]
+        if len(payload) != payload_len:
+            raise StorageError("InvertedListsRecord payload truncated")
+        keys = np.empty(n_lists, dtype=np.int64)
+        decoder = BatchIdDecoder(payload)
+        pos = 0
+        for i in range(n_lists):
+            key, pos = decode_varint(payload, pos)
+            keys[i] = key
+            pos = decoder.read_list(pos)
+        if pos != payload_len:
+            raise StorageError("InvertedListsRecord has trailing bytes")
+        ptr, flat = decoder.finish()
+        return keys, ptr, flat

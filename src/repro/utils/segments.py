@@ -1,0 +1,29 @@
+"""Segmented-array kernels shared by the flat-CSR fast paths.
+
+The recurring primitive of the vectorised pipeline: given per-segment
+``starts`` and ``lengths``, produce the concatenated index array
+``[starts[0], .., starts[0]+lengths[0]-1, starts[1], ...]`` without a
+Python loop.  Implemented as one ``arange`` over the total plus a
+per-element repeated shift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["segmented_arange"]
+
+
+def segmented_arange(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start+length)`` for every segment.
+
+    ``lengths`` may contain zeros (those segments contribute nothing).
+    Both inputs must be int64 arrays of equal length >= 1.
+    """
+    shift = np.empty(len(lengths), dtype=np.int64)
+    shift[0] = 0
+    np.cumsum(lengths[:-1], out=shift[1:])
+    np.subtract(starts, shift, out=shift)
+    index = np.arange(int(lengths.sum()), dtype=np.int64)
+    index += shift.repeat(lengths)
+    return index
