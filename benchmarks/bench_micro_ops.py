@@ -10,9 +10,15 @@ import numpy as np
 import pytest
 
 from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
+from repro.core.irr_index import IRRIndex, IRRIndexBuilder
+from repro.core.query import KBTIMQuery
 from repro.core.sampler import sample_rr_sets, sample_uniform_roots
+from repro.core.theta import ThetaPolicy
 from repro.graph.generators import twitter_like
+from repro.profiles.generators import zipf_profiles
+from repro.profiles.topics import TopicSpace
 from repro.propagation.ic import IndependentCascade
+from repro.propagation.lt import LinearThreshold
 from repro.storage.compression import Codec, compress_ids, decompress_ids
 from repro.storage.pager import BufferPool, PagedFile
 from repro.storage.records import RRSetsRecord
@@ -21,6 +27,11 @@ from repro.storage.records import RRSetsRecord
 @pytest.fixture(scope="module")
 def model():
     return IndependentCascade(twitter_like(2000, avg_degree=12, rng=77))
+
+
+@pytest.fixture(scope="module")
+def lt_model():
+    return LinearThreshold(twitter_like(2000, avg_degree=12, rng=77), weight_rng=7)
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +73,72 @@ def test_rr_sampling_batched(model, benchmark):
     roots = sample_uniform_roots(model.graph.n, _BATCH_THETA, rng)
 
     benchmark(lambda: model.sample_rr_sets_batch(roots, rng))
+
+
+def test_lt_sampling_scalar_reference(lt_model, benchmark):
+    """The per-root LT reverse walk, kept as the statistical reference.
+
+    Paired with :func:`test_lt_sampling_batched` on an identical θ=1200
+    workload; the ratio of the two is the single-pick-kernel speedup
+    BENCH_pr2.json records.
+    """
+    rng = np.random.default_rng(84)
+    roots = sample_uniform_roots(lt_model.graph.n, _BATCH_THETA, rng)
+
+    benchmark(lambda: [lt_model.sample_rr_set(int(root), rng) for root in roots])
+
+
+def test_lt_sampling_batched(lt_model, benchmark):
+    """The batched single-pick reverse walk on the same θ=1200 workload."""
+    rng = np.random.default_rng(84)
+    roots = sample_uniform_roots(lt_model.graph.n, _BATCH_THETA, rng)
+
+    benchmark(lambda: lt_model.sample_rr_sets_batch(roots, rng))
+
+
+@pytest.fixture(scope="module")
+def irr_index_path(tmp_path_factory):
+    """A small IRR index over a synthetic world (paid once per session)."""
+    model = IndependentCascade(twitter_like(1000, avg_degree=10, rng=91))
+    topics = TopicSpace.default(12)
+    profiles = zipf_profiles(model.graph.n, topics, rng=92)
+    policy = ThetaPolicy(epsilon=0.5, K=50, cap=2000)
+    path = str(tmp_path_factory.mktemp("irr_bench") / "index.irr")
+    IRRIndexBuilder(model, profiles, policy=policy, delta=50, rng=93).build(path)
+    return path
+
+
+#: The default IRR benchmark workload: single- and multi-keyword queries
+#: at mixed Q.k, the same mix the BENCH_pr2.json latency numbers use.
+_IRR_QUERIES = (
+    KBTIMQuery(["music"], 10),
+    KBTIMQuery(["music", "book"], 10),
+    KBTIMQuery(["sport", "book"], 25),
+    KBTIMQuery(["music", "book", "sport"], 10),
+)
+
+
+def test_irr_query_latency_warm(irr_index_path, benchmark):
+    """NRA query latency with the decoded-partition memo warm.
+
+    What a long-lived reader pays per query once the hot partitions'
+    decodes are memoised (reads still hit the pager every time).
+    """
+    with IRRIndex(irr_index_path) as index:
+        for query in _IRR_QUERIES:  # prime the decode memo
+            index.query(query)
+
+        benchmark(lambda: [index.query(q) for q in _IRR_QUERIES])
+
+
+def test_irr_query_latency_cold_decode(irr_index_path, benchmark):
+    """NRA query latency with the decode memo disabled (capacity 0).
+
+    The constructor-parameterised cache size sweeps cold behaviour
+    without monkeypatching: every partition load pays its full decode.
+    """
+    with IRRIndex(irr_index_path, decode_cache_partitions=0) as index:
+        benchmark(lambda: [index.query(q) for q in _IRR_QUERIES])
 
 
 def test_rr_record_decode_throughput(rr_sets, benchmark):

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.rrsets import FlatRRSets
 from repro.utils.segments import segmented_arange
 
 __all__ = [
@@ -107,21 +108,29 @@ class CoverageInstance:
         if n_vertices < 0:
             raise ValueError(f"n_vertices must be >= 0, got {n_vertices}")
         self.n_vertices = n_vertices
-        sets = [np.asarray(rr, dtype=_ID_DTYPE) for rr in rr_sets]
         # Only the flat CSR is retained; the rr_sets property rebuilds
         # per-set views on demand so the payload is not stored twice.
         self._rr_sets_list: Optional[List[np.ndarray]] = None
-        set_ptr = np.zeros(len(sets) + 1, dtype=_ID_DTYPE)
-        if sets:
-            lengths = np.fromiter(
-                (len(rr) for rr in sets), dtype=_ID_DTYPE, count=len(sets)
-            )
-            np.cumsum(lengths, out=set_ptr[1:])
-            set_vertices = (
-                np.concatenate(sets) if set_ptr[-1] else np.empty(0, _ID_DTYPE)
-            )
+        if isinstance(rr_sets, FlatRRSets):
+            # The batched samplers deliver the CSR pair directly — no
+            # per-set flatten, no list-of-arrays round trip.
+            set_ptr = rr_sets.ptr
+            set_vertices = rr_sets.vertices
         else:
-            set_vertices = np.empty(0, dtype=_ID_DTYPE)
+            sets = [np.asarray(rr, dtype=_ID_DTYPE) for rr in rr_sets]
+            set_ptr = np.zeros(len(sets) + 1, dtype=_ID_DTYPE)
+            if sets:
+                lengths = np.fromiter(
+                    (len(rr) for rr in sets), dtype=_ID_DTYPE, count=len(sets)
+                )
+                np.cumsum(lengths, out=set_ptr[1:])
+                set_vertices = (
+                    np.concatenate(sets)
+                    if set_ptr[-1]
+                    else np.empty(0, _ID_DTYPE)
+                )
+            else:
+                set_vertices = np.empty(0, dtype=_ID_DTYPE)
         if set_vertices.size:
             lo, hi = set_vertices.min(), set_vertices.max()
             if lo < 0 or hi >= n_vertices:

@@ -18,11 +18,16 @@ sample tables as the RR index.  Per keyword ``w`` (Figure 3):
 bound sums, per query keyword, either its exact active-uncovered count
 (list loaded) or the keyword's unseen bound ``kb[w]``.  Seeds are
 confirmed when the top candidate is COMPLETE and beats ``Σ_w kb[w]``.
-Score maintenance after a seed is confirmed uses the paper's *lazy
-evaluation strategy* (Section 5.2): covering a seed's RR sets only marks
-the affected users dirty (members come from the loaded ``IR`` partitions);
-a candidate's score is refined only when it surfaces at the top of the
-priority queue.
+The engine is array-native: per-keyword state lives in flat arrays
+(:class:`_KeywordState`), partition ingest is pure slicing, and the
+candidate scores sit in a dense bound table selected by masked
+``argmax``.  Covering a confirmed seed's RR sets re-scores exactly the
+affected users in one vectorised pass — the batch formulation of the
+paper's *lazy evaluation strategy* (Section 5.2), which deferred scalar
+re-scores until a candidate surfaced at the top of a priority queue;
+both select the identical seed sequence (max current bound, smallest
+vertex id on ties), which the regression tests pin down against a
+verbatim port of the dict/heap engine.
 
 Theorem 3 — the seed *scores* returned by Algorithm 4 equal Algorithm 2's —
 is enforced by the integration tests on shared sample tables.
@@ -30,13 +35,12 @@ is enforced by the integration tests on shared sample tables.
 
 from __future__ import annotations
 
-import heapq
 import json
 import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +65,7 @@ from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
 from repro.storage.records import InvertedListsRecord, RRSetsRecord
 from repro.storage.segments import SegmentReader, SegmentWriter
 from repro.utils.rng import RngLike
+from repro.utils.segments import segmented_arange
 
 __all__ = ["IRRIndexBuilder", "IRRIndex", "DEFAULT_PARTITION_SIZE"]
 
@@ -254,26 +259,45 @@ def write_irr_index(
 
 @dataclass
 class _KeywordState:
-    """Per-query, per-keyword NRA state."""
+    """Per-query, per-keyword NRA state — flat arrays, no per-vertex dicts.
+
+    The NRA bookkeeping is array-native: ``exact`` holds every vertex's
+    active-and-uncovered count (``-1`` = inverted list not loaded yet),
+    and the loaded inverted lists / RR-set members live in the per-
+    partition *blocks* their decode produced, addressed through flat
+    locator arrays (``block of``, ``start``, ``end``).  Partition ingest
+    is therefore pure slicing and fancy indexing; no ``il_keys`` loop.
+    """
 
     meta: KeywordMeta
     active_count: int  # θ^Q_w: only RR-set ids below this are live
     n_partitions: int
     partition_first_lens: List[int]
-    first_occurrence: Dict[int, int]  # IP_w
+    first_occurrence: np.ndarray  # IP_w: first set id per vertex, -1 = none
+    n_vertices: int
     next_partition: int = 0
-    loaded_lists: Dict[int, np.ndarray] = None  # vertex -> active rr ids
-    exact_counts: Dict[int, int] = None  # vertex -> active-and-uncovered
-    covered: np.ndarray = None  # bitmap over the active prefix
     covered_n: int = 0
-    members: Dict[int, np.ndarray] = None  # rr id -> member vertices
 
     def __post_init__(self) -> None:
-        self.loaded_lists = {}
-        self.exact_counts = {}
+        n = self.n_vertices
+        # exact[v]: active-and-uncovered count; -1 until v's list loads.
+        self.exact = np.full(n, -1, dtype=np.int64)
+        # Loaded inverted lists: clipped per-partition payloads, with a
+        # per-vertex (block, start, end) locator.  Each vertex belongs to
+        # exactly one IL partition, so a locator entry is written once.
+        self.list_blocks: List[np.ndarray] = []
+        self.list_block_of = np.full(n, -1, dtype=np.int64)
+        self.list_start = np.zeros(n, dtype=np.int64)
+        self.list_end = np.zeros(n, dtype=np.int64)
+        # Loaded RR-set members: one flat payload grown per partition
+        # load (loads are few), with per-set (start, end) locators so a
+        # seed's coverage pass is a single segmented gather.  Only active
+        # sets (id < θ^Q_w) are ever looked up, so the locators cover
+        # just the active prefix; start == -1 means not loaded.
+        self.members_flat = np.empty(0, dtype=np.int64)
+        self.mem_start = np.full(self.active_count, -1, dtype=np.int64)
+        self.mem_end = np.zeros(self.active_count, dtype=np.int64)
         self.covered = np.zeros(self.active_count, dtype=bool)
-        self.covered_n = 0
-        self.members = {}
 
     @property
     def exhausted(self) -> bool:
@@ -296,13 +320,22 @@ class _KeywordState:
         that never occurs at all) is exactly 0 without any load — the IP
         check of Section 5.2.
         """
-        exact = self.exact_counts.get(vertex)
-        if exact is not None:
+        exact = int(self.exact[vertex])
+        if exact >= 0:
             return exact
-        first = self.first_occurrence.get(vertex)
-        if first is None or first >= self.active_count:
+        first = int(self.first_occurrence[vertex])
+        if first < 0 or first >= self.active_count:
             return 0
         return None
+
+    def loaded_list(self, vertex: int) -> Optional[np.ndarray]:
+        """The vertex's clipped active RR-set ids, or ``None`` if unloaded."""
+        block = self.list_block_of[vertex]
+        if block < 0:
+            return None
+        return self.list_blocks[block][
+            self.list_start[vertex] : self.list_end[vertex]
+        ]
 
 
 class IRRIndex:
@@ -315,8 +348,13 @@ class IRRIndex:
         stats: Optional[IOStats] = None,
         pool: Optional[BufferPool] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        decode_cache_partitions: int = _DECODE_CACHE_PARTITIONS,
     ) -> None:
         self.stats = stats if stats is not None else IOStats()
+        # Capacity of the decoded-partition memo; <= 0 disables it (every
+        # logical load re-decodes, the cold-cache behaviour benchmarks
+        # sweep without monkeypatching).
+        self.decode_cache_partitions = int(decode_cache_partitions)
         self._reader = SegmentReader(
             path, stats=self.stats, pool=pool, page_size=page_size
         )
@@ -335,7 +373,7 @@ class IRRIndex:
         self._topic_names: Dict[int, str] = {}
         # IP_w is immutable per keyword; decoded once and reused across
         # queries (bounded LRU, like the partition memo below).
-        self._ip_cache: "OrderedDict[str, Dict[int, int]]" = OrderedDict()
+        self._ip_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
         # Decoded-partition memo: the bytes are still read through the
         # pager on every logical load (I/O accounting is unchanged), but
         # the CPU-side CSR decode of an immutable partition happens once.
@@ -363,12 +401,13 @@ class IRRIndex:
         """Indexed keyword names (sorted)."""
         return sorted(self.catalog)
 
-    def _load_ip(self, keyword: str) -> Dict[int, int]:
+    def _load_ip(self, keyword: str) -> np.ndarray:
         """Load the first-occurrence map ``IP_w`` (one read).
 
         Batch-decoded: IP stores one single-id list per vertex, so the
-        firsts are exactly the flat payload.  Cached per keyword — the
-        map is immutable index data.
+        firsts are exactly the flat payload, scattered into a dense
+        length-``n`` array (``-1`` = vertex never occurs under the
+        keyword).  Cached per keyword — the map is immutable index data.
         """
         cached = self._ip_cache.get(keyword)
         if cached is not None:
@@ -377,7 +416,8 @@ class IRRIndex:
         keys, ptr, flat = InvertedListsRecord.decode_csr(
             self._reader.read(f"ip/{keyword}")
         )
-        result = dict(zip(keys.tolist(), flat[ptr[:-1]].tolist()))
+        result = np.full(self.n_vertices, -1, dtype=np.int64)
+        result[keys] = flat[ptr[:-1]]
         if len(self._ip_cache) >= _IP_CACHE_KEYWORDS:
             self._ip_cache.popitem(last=False)
         self._ip_cache[keyword] = result
@@ -404,30 +444,48 @@ class IRRIndex:
                 n_partitions=n_partitions,
                 partition_first_lens=first_lens,
                 first_occurrence=self._load_ip(kw),
+                n_vertices=self.n_vertices,
             )
+        state_list = [states[kw] for kw in keywords]
+        cache_cap = self.decode_cache_partitions
 
         rr_sets_loaded = 0
         partitions_loaded = 0
-        pq: List[Tuple[int, int]] = []  # (-upper_bound, vertex)
-        enqueued: Set[int] = set()
-        selected: Set[int] = set()
-        dirty: Set[int] = set()
+        # Candidate state is a dense score table instead of a heap:
+        # ``live_bound[v]`` is v's *current* NRA upper bound (-1 = not a
+        # candidate: never enqueued, or already selected), and
+        # ``incomplete[v]`` counts the query keywords whose partial score
+        # for v is still the unseen bound kb.  Because the flat arrays
+        # make every bound exact at all times, selection is one masked
+        # ``argmax`` — which picks precisely what the classic lazy heap
+        # converges to after its stale-entry refreshes (max current
+        # bound, smallest vertex id on ties), with none of the per-pop
+        # revalidation churn.
+        live_bound = np.full(self.n_vertices, -1, dtype=np.int64)
+        incomplete = np.zeros(self.n_vertices, dtype=np.int64)
+        enqueued = np.zeros(self.n_vertices, dtype=bool)
+        selected = np.zeros(self.n_vertices, dtype=bool)
         seeds: List[int] = []
         marginals: List[int] = []
 
-        def upper_bound(vertex: int) -> Tuple[int, bool]:
-            """Current bound and COMPLETE status for ``vertex``."""
-            total = 0
-            complete = True
-            for kw in keywords:
-                state = states[kw]
-                exact = state.exact_count(vertex)
-                if exact is None:
-                    total += state.kb
-                    complete = False
-                else:
-                    total += exact
-            return total, complete
+        def refresh_bounds(vertices: np.ndarray, with_completeness: bool) -> None:
+            """Recompute bounds (and optionally completeness) in one pass."""
+            total = np.zeros(len(vertices), dtype=np.int64)
+            if with_completeness:
+                incomplete_count = np.zeros(len(vertices), dtype=np.int64)
+            for state in state_list:
+                exact = state.exact[vertices]
+                unloaded = exact < 0
+                first = state.first_occurrence[vertices]
+                known_zero = (first < 0) | (first >= state.active_count)
+                total += np.where(
+                    unloaded, np.where(known_zero, 0, state.kb), exact
+                )
+                if with_completeness:
+                    incomplete_count += unloaded & ~known_zero
+            live_bound[vertices] = total
+            if with_completeness:
+                incomplete[vertices] = incomplete_count
 
         def load_next_partitions() -> bool:
             """Algorithm 4 lines 23-30: one more partition per keyword."""
@@ -440,31 +498,37 @@ class IRRIndex:
                 p = state.next_partition
                 ir_record = self._reader.read(f"ir/{kw}/{p}")
                 il_record = self._reader.read(f"il/{kw}/{p}")
-                cached = self._decode_cache.get((kw, p))
+                cached = self._decode_cache.get((kw, p)) if cache_cap > 0 else None
                 if cached is None:
                     cached = InvertedListsRecord.decode_csr(
                         ir_record
                     ) + InvertedListsRecord.decode_csr(il_record)
-                    if len(self._decode_cache) >= _DECODE_CACHE_PARTITIONS:
-                        self._decode_cache.popitem(last=False)
-                    self._decode_cache[kw, p] = cached
+                    if cache_cap > 0:
+                        if len(self._decode_cache) >= cache_cap:
+                            self._decode_cache.popitem(last=False)
+                        self._decode_cache[kw, p] = cached
                 else:
                     self._decode_cache.move_to_end((kw, p))
                 ir_keys, ir_ptr, ir_flat, il_keys, il_ptr, il_flat = cached
                 partitions_loaded += 1
-                ir_bounds = ir_ptr.tolist()
-                for i, set_id in enumerate(ir_keys.tolist()):
-                    state.members[set_id] = ir_flat[
-                        ir_bounds[i] : ir_bounds[i + 1]
-                    ]
-                # Count only *active* sets (id < θ^Q_w) so the metric is
-                # comparable with the RR index's prefix count; the
-                # partition also carries sets beyond the active prefix
-                # whose bytes show up in the I/O stats instead.
-                rr_sets_loaded += int(
-                    np.count_nonzero(ir_keys < state.active_count)
-                )
                 state.next_partition += 1
+                # Member ingest is pure slicing: extend the flat payload,
+                # scatter (start, end) locators for the *active* sets
+                # (id < θ^Q_w — later ids are never looked up; their
+                # bytes only show up in the I/O stats).  The active count
+                # keeps the loaded-sets metric comparable with the RR
+                # index's prefix count.
+                active_sets = ir_keys < state.active_count
+                act_keys = ir_keys[active_sets]
+                offset = len(state.members_flat)
+                state.members_flat = (
+                    np.concatenate([state.members_flat, ir_flat])
+                    if offset
+                    else ir_flat
+                )
+                state.mem_start[act_keys] = ir_ptr[:-1][active_sets] + offset
+                state.mem_end[act_keys] = ir_ptr[1:][active_sets] + offset
+                rr_sets_loaded += int(np.count_nonzero(active_sets))
                 # Clip every list to the active prefix in one mask pass
                 # (per-vertex ids are ascending, so the mask is a prefix).
                 active_mask = il_flat < state.active_count
@@ -488,65 +552,60 @@ class IRRIndex:
                         ],
                         minlength=len(il_keys),
                     )
-                    exact = (lengths - covered_per).tolist()
+                    exact = lengths - covered_per
                 else:
-                    exact = lengths.tolist()
-                bounds = np.cumsum(lengths).tolist()
-                prev = 0
-                for i, vertex in enumerate(il_keys.tolist()):
-                    state.loaded_lists[vertex] = clipped[prev : bounds[i]]
-                    state.exact_counts[vertex] = exact[i]
-                    prev = bounds[i]
-                    if vertex not in selected and vertex not in enqueued:
-                        bound, _complete = upper_bound(vertex)
-                        heapq.heappush(pq, (-bound, vertex))
-                        enqueued.add(vertex)
-                    else:
-                        # Known candidate gained an exact partial score;
-                        # lazy revalidation will refresh it at the top.
-                        dirty.add(vertex)
+                    exact = lengths
+                bounds = np.zeros(len(il_keys) + 1, dtype=np.int64)
+                np.cumsum(lengths, out=bounds[1:])
+                lblock = len(state.list_blocks)
+                state.list_blocks.append(clipped)
+                state.list_block_of[il_keys] = lblock
+                state.list_start[il_keys] = bounds[:-1]
+                state.list_end[il_keys] = bounds[1:]
+                state.exact[il_keys] = exact
+                enqueued[il_keys[~selected[il_keys]]] = True
                 any_loaded = True
+            if any_loaded:
+                # One vectorised bound/completeness refresh over every
+                # live candidate: newly loaded vertices enter the score
+                # table and existing candidates absorb the shrunken kb
+                # in the same pass (the per-vertex heap pushes the dict
+                # engine needed are gone entirely).
+                live = np.flatnonzero(enqueued & ~selected)
+                if len(live):
+                    refresh_bounds(live, with_completeness=True)
             return any_loaded
 
-        unseen_bound = lambda: sum(states[kw].kb for kw in keywords)
+        unseen_bound = lambda: sum(state.kb for state in state_list)
 
         while len(seeds) < query.k:
-            if not pq:
+            vertex = int(np.argmax(live_bound))
+            current = int(live_bound[vertex])
+            if current < 0:
+                # No live candidate (all -1): load more, or degenerate to
+                # zero-marginal filler picks once everything is loaded.
                 if load_next_partitions():
                     continue
-                # Everything is loaded and no candidate carries a positive
-                # score: the greedy degenerates to zero-marginal picks.
                 filler = 0
                 while len(seeds) < query.k and filler < self.n_vertices:
-                    if filler not in selected:
+                    if not selected[filler]:
                         seeds.append(filler)
                         marginals.append(0)
-                        selected.add(filler)
+                        selected[filler] = True
                     filler += 1
                 break
 
-            neg_bound, vertex = pq[0]
-            if vertex in selected:
-                heapq.heappop(pq)
-                continue
-            bound = -neg_bound
-            current, complete = upper_bound(vertex)
-            if current != bound:
-                # Stale entry (lazy evaluation): refresh in place.
-                heapq.heapreplace(pq, (-current, vertex))
-                dirty.discard(vertex)
-                continue
-            dirty.discard(vertex)
-            if complete and current >= unseen_bound():
-                heapq.heappop(pq)
+            if not incomplete[vertex] and current >= unseen_bound():
                 seeds.append(vertex)
                 marginals.append(current)
-                selected.add(vertex)
-                # Mark this seed's active RR sets covered and dirty the
-                # affected candidates (lines 17-22).
-                for kw in keywords:
-                    state = states[kw]
-                    ids = state.loaded_lists.get(vertex)
+                selected[vertex] = True
+                live_bound[vertex] = -1
+                # Mark this seed's active RR sets covered and update the
+                # affected candidates' exact counts and bounds (lines
+                # 17-22) — one segmented member gather per block instead
+                # of a per-set Python loop.
+                for state in state_list:
+                    ids = state.loaded_list(vertex)
                     if ids is None or not len(ids):
                         continue
                     fresh = ids[~state.covered[ids]]
@@ -554,20 +613,28 @@ class IRRIndex:
                         continue
                     state.covered[fresh] = True
                     state.covered_n += len(fresh)
-                    exact_counts = state.exact_counts
-                    for set_id in fresh.tolist():
-                        members = state.members.get(set_id)
-                        if members is None:
-                            continue
-                        # Every member of a newly covered set loses one
-                        # active-uncovered unit; vertices whose lists are
-                        # not loaded yet have no entry and are seeded with
-                        # the covered-adjusted count at load time.
-                        for u in members.tolist():
-                            current = exact_counts.get(u)
-                            if current is not None:
-                                exact_counts[u] = current - 1
-                            dirty.add(u)
+                    starts = state.mem_start[fresh]
+                    have = starts >= 0
+                    if not have.all():
+                        fresh = fresh[have]
+                        starts = starts[have]
+                    if not len(fresh):
+                        continue
+                    lens = state.mem_end[fresh] - starts
+                    members = state.members_flat.take(
+                        segmented_arange(starts, lens)
+                    )
+                    # Every member of a newly covered set loses one
+                    # active-uncovered unit — and, because a loaded
+                    # member's bound contribution for this keyword *is*
+                    # its exact count, the same decrement applies
+                    # verbatim to the live bound table (unloaded members
+                    # keep their kb contribution; completeness never
+                    # changes under coverage).  Members already selected
+                    # drift below -1, which the masked argmax ignores.
+                    loaded = members[state.exact[members] >= 0]
+                    np.subtract.at(state.exact, loaded, 1)
+                    np.subtract.at(live_bound, loaded, 1)
             else:
                 if not load_next_partitions():
                     raise IndexError_(

@@ -17,12 +17,16 @@ four index variants (2 formats × 2 codecs) comparable and makes Theorem 3
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.estimation import estimate_opt_lower_bound
-from repro.core.sampler import sample_rr_sets, sample_weighted_roots
+from repro.core.sampler import (
+    mean_rr_set_size,
+    sample_rr_sets,
+    sample_weighted_roots,
+)
 from repro.core.theta import ThetaPolicy
 from repro.errors import IndexError_
 from repro.profiles.store import ProfileStore
@@ -35,7 +39,15 @@ __all__ = ["KeywordTable", "sample_keyword_tables"]
 @dataclass
 class KeywordTable:
     """One keyword's offline sample table and the statistics the θ bounds
-    and query planner (Eqn. 11) need at query time."""
+    and query planner (Eqn. 11) need at query time.
+
+    ``rr_sets`` is whatever the model's batched sampler produced — for
+    IC/LT and declared triggering models that is the flat
+    :class:`~repro.utils.rrsets.FlatRRSets` CSR, which the record
+    encoders, ``_invert`` and ``partition_keyword`` consume without a
+    list-of-arrays round trip (scalar-fallback models still deliver a
+    plain list; both are ``Sequence[np.ndarray]``).
+    """
 
     name: str
     topic_id: int
@@ -44,14 +56,12 @@ class KeywordTable:
     idf: float
     phi_w: float
     opt_lower_bound: float
-    rr_sets: List[np.ndarray]
+    rr_sets: Sequence[np.ndarray]
 
     @property
     def mean_rr_size(self) -> float:
         """Average RR-set cardinality (Table 5)."""
-        if not self.rr_sets:
-            return 0.0
-        return sum(len(rr) for rr in self.rr_sets) / len(self.rr_sets)
+        return mean_rr_set_size(self.rr_sets)
 
 
 def sample_keyword_tables(

@@ -44,6 +44,7 @@ from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
 from repro.storage.records import InvertedListsRecord, RRSetsRecord
 from repro.storage.segments import SegmentReader, SegmentWriter
 from repro.utils.rng import RngLike
+from repro.utils.rrsets import FlatRRSets
 
 __all__ = ["KeywordMeta", "BuildReport", "RRIndexBuilder", "RRIndex"]
 
@@ -244,16 +245,24 @@ def _invert(rr_sets: Sequence[np.ndarray]) -> List[Tuple[int, np.ndarray]]:
     """Vertex → ascending RR-set ids (the ``L_w`` of Figure 2).
 
     One stable argsort over the flattened sets instead of a per-vertex
-    dict build; stability keeps each vertex's set ids ascending.
+    dict build; stability keeps each vertex's set ids ascending.  When
+    the sets arrive as :class:`~repro.utils.rrsets.FlatRRSets` (the
+    batched samplers' native form), the flat payload is used as-is.
     """
-    if not rr_sets:
+    if not len(rr_sets):
         return []
-    lengths = np.fromiter(
-        (len(rr) for rr in rr_sets), dtype=np.int64, count=len(rr_sets)
-    )
-    if not lengths.sum():
-        return []
-    flat = np.concatenate([np.asarray(rr, dtype=np.int64) for rr in rr_sets])
+    if isinstance(rr_sets, FlatRRSets):
+        lengths = rr_sets.sizes()
+        flat = rr_sets.vertices
+        if not len(flat):
+            return []
+    else:
+        lengths = np.fromiter(
+            (len(rr) for rr in rr_sets), dtype=np.int64, count=len(rr_sets)
+        )
+        if not lengths.sum():
+            return []
+        flat = np.concatenate([np.asarray(rr, dtype=np.int64) for rr in rr_sets])
     set_ids = np.repeat(np.arange(len(rr_sets), dtype=np.int64), lengths)
     order = np.argsort(flat, kind="stable")
     sorted_vertices = flat[order]

@@ -13,12 +13,13 @@ Given roots, every sampler delegates to the propagation model's
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.propagation.base import PropagationModel
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.rrsets import FlatRRSets
 from repro.utils.validation import check_positive_int
 
 __all__ = [
@@ -81,20 +82,25 @@ def sample_rr_sets(
     model: PropagationModel,
     roots: Sequence[int],
     rng: RngLike = None,
-) -> List[np.ndarray]:
+) -> Sequence[np.ndarray]:
     """One RR set per root, in root order.
 
     Dispatches to the model's batched multi-root sampler
     (:meth:`~repro.propagation.base.PropagationModel.sample_rr_sets_batch`);
-    IC expands all θ frontiers simultaneously with vectorised kernels,
-    while models without a batched kernel fall back to per-root walks.
+    IC/LT and declared triggering distributions expand all θ walks
+    simultaneously with vectorised kernels and return the flat
+    :class:`~repro.utils.rrsets.FlatRRSets` CSR (a drop-in
+    ``Sequence[np.ndarray]``), while models without a batched kernel fall
+    back to per-root walks returning a list.
     """
     gen = as_rng(rng)
-    return list(model.sample_rr_sets_batch(roots, gen))
+    return model.sample_rr_sets_batch(roots, gen)
 
 
 def mean_rr_set_size(rr_sets: Sequence[np.ndarray]) -> float:
     """Average RR-set cardinality (the Table 5 "Mean RR size" column)."""
-    if not rr_sets:
+    if not len(rr_sets):
         return 0.0
+    if isinstance(rr_sets, FlatRRSets):
+        return rr_sets.total_size / len(rr_sets)
     return float(sum(len(rr) for rr in rr_sets)) / len(rr_sets)

@@ -9,7 +9,7 @@ distribution.  This base class pins down that contract.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -46,14 +46,17 @@ class PropagationModel(ABC):
 
     def sample_rr_sets_batch(
         self, roots: Sequence[int], rng: RngLike = None
-    ) -> List[np.ndarray]:
+    ) -> Sequence[np.ndarray]:
         """Draw one RR set per root, in root order.
 
-        The default walks :meth:`sample_rr_set` root by root; models with
-        a vectorised multi-root sampler (IC) override this with a batched
-        kernel that draws from the same distribution.  Callers must treat
-        the two as statistically — not bitwise — interchangeable, since a
-        batched kernel consumes the ``rng`` stream in a different order.
+        The default walks :meth:`sample_rr_set` root by root and returns a
+        list; models with a vectorised multi-root sampler (IC, LT, and
+        declared triggering distributions) override this with a batched
+        kernel that draws from the same distribution and return the flat
+        :class:`~repro.utils.rrsets.FlatRRSets` CSR form directly.
+        Callers must treat scalar and batched results as statistically —
+        not bitwise — interchangeable, since a batched kernel consumes
+        the ``rng`` stream in a different order.
         """
         gen = as_rng(rng)
         return [self.sample_rr_set(int(root), gen) for root in roots]

@@ -13,25 +13,15 @@ reverse sampling correct, and it is what the cross-validation tests check:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.graph.digraph import DiGraph
 from repro.propagation.base import PropagationModel, validate_seed_set
+from repro.propagation.kernels import as_root_array, batched_bernoulli_rr
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.segments import segmented_arange
 
 __all__ = ["IndependentCascade"]
-
-#: Upper bound on the ``roots x vertices`` visited-label state of one
-#: batched reverse-BFS chunk (bools, so also bytes).  Chunking keeps the
-#: batched sampler's memory flat no matter how large θ grows.
-_MAX_STATE_CELLS = 1 << 25
-
-#: Minimum size of the pre-drawn uniform coin buffer shared by the BFS
-#: levels of one chunk (one RNG call amortised over many levels).
-_COIN_BUFFER = 4096
 
 
 class IndependentCascade(PropagationModel):
@@ -47,7 +37,8 @@ class IndependentCascade(PropagationModel):
 
         Coins are flipped lazily edge-by-edge as the reverse search reaches
         each vertex; by deferred-decision equivalence this samples the same
-        distribution as materialising a full live-edge world first.
+        distribution as materialising a full live-edge world first.  Kept
+        as the scalar statistical reference for the batched kernel.
         """
         graph = self.graph
         graph._check_vertex(root)
@@ -79,106 +70,23 @@ class IndependentCascade(PropagationModel):
 
     def sample_rr_sets_batch(
         self, roots: Sequence[int], rng: RngLike = None
-    ) -> List[np.ndarray]:
+    ) -> Sequence[np.ndarray]:
         """Batched multi-root reverse BFS: all roots expand level-locked.
 
-        Instead of θ independent Python walks, every BFS level performs
-        one CSR edge gather over the union of all live frontiers, one
-        vectorised coin flip for the gathered edge block, and one
-        deduplicating update of a flat ``(root, vertex)`` visited-label
-        array.  Each ``(root, vertex)`` pair enters a frontier at most
-        once, so — exactly as in :meth:`sample_rr_set` — every in-edge of
-        a visited vertex receives one independent coin: the deferred-
-        decision argument applies per root unchanged, and the sampled
-        distribution is identical to the scalar walk (the tests check
-        statistical equivalence on shared seeds).
-
-        Roots are processed in chunks bounding the label array, so memory
-        stays flat in θ.
+        Delegates to the shared Bernoulli-edge kernel
+        (:func:`~repro.propagation.kernels.batched_bernoulli_rr`) with the
+        graph's in-CSR probabilities, returning the flat
+        :class:`~repro.utils.rrsets.FlatRRSets` CSR that the coverage and
+        index layers consume without a list round trip.  Statistically
+        interchangeable with :meth:`sample_rr_set` (the tests check
+        equivalence on shared seeds).
         """
-        graph = self.graph
-        roots_arr = np.asarray(roots, dtype=np.int64)
-        if roots_arr.ndim != 1:
-            raise ValueError("roots must be a flat sequence of vertex ids")
+        roots_arr = as_root_array(self.graph, roots)
         if roots_arr.size == 0:
             return []
-        if roots_arr.min() < 0 or roots_arr.max() >= graph.n:
-            bad = int(roots_arr.min()) if roots_arr.min() < 0 else int(roots_arr.max())
-            graph._check_vertex(bad)
-        gen = as_rng(rng)
-        chunk = max(1, _MAX_STATE_CELLS // max(graph.n, 1))
-        results: List[np.ndarray] = []
-        for start in range(0, len(roots_arr), chunk):
-            results.extend(
-                self._sample_rr_chunk(roots_arr[start : start + chunk], gen)
-            )
-        return results
-
-    def _sample_rr_chunk(
-        self, roots: np.ndarray, gen: np.random.Generator
-    ) -> List[np.ndarray]:
-        """One chunk of the batched reverse BFS (see sample_rr_sets_batch)."""
-        graph = self.graph
-        n = graph.n
-        in_ptr = graph.in_ptr
-        in_src = graph.in_src
-        in_prob = graph.in_prob
-        n_roots = len(roots)
-
-        # visited[r * n + v] <=> vertex v already reached root slot r.
-        visited = np.zeros(n_roots * n, dtype=bool)
-        key = np.arange(n_roots, dtype=np.int64) * n + roots
-        visited[key] = True
-        collected = [key]
-        frontier_base = key - roots  # root-slot offsets (r * n)
-        frontier_vertex = roots
-        # Uniform coins are pre-drawn in blocks so a BFS level costs one
-        # slice, not one Generator call (the leftovers are just unused iid
-        # draws — the sampled distribution is unchanged).
-        coins = gen.random(_COIN_BUFFER)
-        coin_pos = 0
-        while True:
-            starts = in_ptr.take(frontier_vertex)
-            degrees = in_ptr.take(frontier_vertex + 1)
-            degrees -= starts
-            total = int(degrees.sum())
-            if not total:
-                break
-            # Expand every frontier vertex's in-edge CSR range in one
-            # segmented-arange pass.
-            edge_index = segmented_arange(starts, degrees)
-            if coin_pos + total > len(coins):
-                coins = gen.random(max(_COIN_BUFFER, total))
-                coin_pos = 0
-            live = coins[coin_pos : coin_pos + total] < in_prob.take(edge_index)
-            coin_pos += total
-            key = frontier_base.repeat(degrees)[live]
-            key += in_src.take(edge_index[live])
-            key = key[~visited.take(key)]
-            if not key.size:
-                break
-            if key.size > 1:
-                # In-level dedup: sort + adjacent-difference flags (cheaper
-                # than np.unique, which also hashes).
-                key.sort()
-                keep = np.empty(len(key), dtype=bool)
-                keep[0] = True
-                np.not_equal(key[1:], key[:-1], out=keep[1:])
-                key = key[keep]
-            visited[key] = True
-            collected.append(key)
-            frontier_vertex = key % n
-            frontier_base = key - frontier_vertex
-
-        all_keys = np.concatenate(collected)
-        all_keys.sort()  # root-major, then vertex ascending within root
-        vertices = all_keys % n
-        counts = np.bincount((all_keys - vertices) // n, minlength=n_roots)
-        ptr = np.empty(n_roots + 1, dtype=np.int64)
-        ptr[0] = 0
-        np.cumsum(counts, out=ptr[1:])
-        bounds = ptr.tolist()
-        return [vertices[bounds[i] : bounds[i + 1]] for i in range(n_roots)]
+        return batched_bernoulli_rr(
+            self.graph, self.graph.in_prob, roots_arr, as_rng(rng)
+        )
 
     def simulate(self, seeds: Sequence[int], rng: RngLike = None) -> np.ndarray:
         """Forward cascade: each new activation gets one shot per out-edge."""

@@ -10,6 +10,13 @@ which is exactly how :meth:`LinearThreshold.sample_rr_set` walks backwards.
 Following the paper's experimental setup (Section 6.6), the default weights
 assign each in-edge a uniform random value normalised so that each vertex's
 in-weights sum to 1.
+
+The hot path is the batched multi-root reverse walk
+(:meth:`LinearThreshold.sample_rr_sets_batch`): all θ walks advance
+level-locked through the single-pick kernel, each live walk choosing its
+one live in-edge with a ``searchsorted`` into precomputed per-vertex
+cumulative weights.  The scalar walk is retained as the statistical
+reference.
 """
 
 from __future__ import annotations
@@ -21,7 +28,13 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph.digraph import DiGraph
 from repro.propagation.base import PropagationModel, validate_seed_set
+from repro.propagation.kernels import (
+    as_root_array,
+    batched_single_pick_rr,
+    build_single_pick_keys,
+)
 from repro.utils.rng import RngLike, as_rng
+from repro.utils.segments import segmented_arange
 
 __all__ = ["LinearThreshold"]
 
@@ -57,14 +70,10 @@ class LinearThreshold(PropagationModel):
             weights = np.ascontiguousarray(weights, dtype=np.float64)
             _validate_weights(graph, weights)
         self.weights = weights
-        # Per-vertex cumulative weights let the reverse walk pick its single
-        # live in-edge with one uniform draw.
-        self._in_weight_sum = np.zeros(graph.n, dtype=np.float64)
-        if graph.m:
-            targets = np.repeat(
-                np.arange(graph.n, dtype=np.int64), np.diff(graph.in_ptr)
-            )
-            np.add.at(self._in_weight_sum, targets, weights)
+        # Per-vertex cumulative weights, offset by the target vertex id,
+        # let every reverse walk pick its single live in-edge with one
+        # global searchsorted (see kernels.build_single_pick_keys).
+        self._pick_keys = build_single_pick_keys(graph, weights)
 
     @property
     def name(self) -> str:
@@ -72,7 +81,10 @@ class LinearThreshold(PropagationModel):
         return "LT"
 
     def sample_rr_set(self, root: int, rng: RngLike = None) -> np.ndarray:
-        """Backward walk choosing at most one in-edge per visited vertex."""
+        """Backward walk choosing at most one in-edge per visited vertex.
+
+        Kept as the scalar statistical reference for the batched kernel.
+        """
         graph = self.graph
         graph._check_vertex(root)
         gen = as_rng(rng)
@@ -107,8 +119,32 @@ class LinearThreshold(PropagationModel):
         result.sort()
         return np.asarray(result, dtype=np.int64)
 
+    def sample_rr_sets_batch(
+        self, roots: Sequence[int], rng: RngLike = None
+    ) -> Sequence[np.ndarray]:
+        """Batched multi-root reverse walk (level-locked single picks).
+
+        Delegates to the shared single-pick kernel with the precomputed
+        cumulative-weight keys; statistically interchangeable with
+        :meth:`sample_rr_set` (the property tests check equivalence).
+        """
+        roots_arr = as_root_array(self.graph, roots)
+        if roots_arr.size == 0:
+            return []
+        return batched_single_pick_rr(
+            self.graph, self._pick_keys, roots_arr, as_rng(rng)
+        )
+
     def simulate(self, seeds: Sequence[int], rng: RngLike = None) -> np.ndarray:
-        """Forward threshold process with fresh uniform thresholds."""
+        """Forward threshold process with fresh uniform thresholds.
+
+        Each level gathers the out-edges of the whole frontier in one
+        segmented pass, accumulates the active in-neighbour weight with
+        ``np.add.at`` (duplicate targets accumulate correctly), and
+        activates by threshold mask.  Vertices already active keep
+        receiving pressure harmlessly — their thresholds are never
+        consulted again, exactly as in the per-edge formulation.
+        """
         graph = self.graph
         seed_arr = validate_seed_set(graph, seeds)
         gen = as_rng(rng)
@@ -117,26 +153,31 @@ class LinearThreshold(PropagationModel):
         pressure = np.zeros(graph.n, dtype=np.float64)
         active = np.zeros(graph.n, dtype=bool)
         active[seed_arr] = True
-        result = [int(s) for s in seed_arr]
-        frontier = list(result)
         out_ptr, out_dst = graph.out_ptr, graph.out_dst
         edge_weight = self._weight_by_out_order()
-        while frontier:
-            next_frontier = []
-            for u in frontier:
-                start, stop = out_ptr[u], out_ptr[u + 1]
-                for idx in range(start, stop):
-                    v = int(out_dst[idx])
-                    if active[v]:
-                        continue
-                    pressure[v] += edge_weight[idx]
-                    if pressure[v] >= thresholds[v]:
-                        active[v] = True
-                        result.append(v)
-                        next_frontier.append(v)
-            frontier = next_frontier
+        collected = [seed_arr]
+        frontier = seed_arr
+        while frontier.size:
+            starts = out_ptr.take(frontier)
+            degrees = out_ptr.take(frontier + 1)
+            degrees -= starts
+            if not int(degrees.sum()):
+                break
+            edge_index = segmented_arange(starts, degrees)
+            targets = out_dst.take(edge_index)
+            np.add.at(pressure, targets, edge_weight.take(edge_index))
+            candidates = np.unique(targets[~active.take(targets)])
+            newly = candidates[
+                pressure.take(candidates) >= thresholds.take(candidates)
+            ]
+            if not newly.size:
+                break
+            active[newly] = True
+            collected.append(newly)
+            frontier = newly
+        result = np.concatenate(collected)
         result.sort()
-        return np.asarray(result, dtype=np.int64)
+        return result
 
     def _weight_by_out_order(self) -> np.ndarray:
         """Weights re-sorted to align with the out-CSR (cached)."""
@@ -152,19 +193,24 @@ class LinearThreshold(PropagationModel):
 
 
 def _random_normalized_weights(graph: DiGraph, rng: RngLike) -> np.ndarray:
-    """Random in-edge weights normalised to sum to 1 per vertex."""
+    """Random in-edge weights normalised to sum to 1 per vertex.
+
+    One ``bincount`` computes every vertex's weight sum; the per-edge
+    division is a single gather (no per-vertex Python loop).
+    """
     gen = as_rng(rng)
     weights = gen.random(graph.m)
-    for v in range(graph.n):
-        start, stop = graph.in_ptr[v], graph.in_ptr[v + 1]
-        if start == stop:
-            continue
-        total = weights[start:stop].sum()
-        if total > 0:
-            weights[start:stop] /= total
-        else:  # pragma: no cover - measure-zero event
-            weights[start:stop] = 1.0 / (stop - start)
-    return weights
+    if not graph.m:
+        return weights
+    targets = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.in_ptr))
+    totals = np.bincount(targets, weights=weights, minlength=graph.n)
+    per_edge_total = totals[targets]
+    degrees = np.diff(graph.in_ptr)[targets]
+    # A vertex whose draws all came out exactly 0.0 (measure-zero) gets
+    # the uniform fallback instead of a 0/0.
+    return np.where(
+        per_edge_total > 0.0, weights / per_edge_total, 1.0 / degrees
+    )
 
 
 def _validate_weights(graph: DiGraph, weights: np.ndarray) -> None:
@@ -173,14 +219,15 @@ def _validate_weights(graph: DiGraph, weights: np.ndarray) -> None:
             f"LT weights must have one entry per edge ({graph.m}), "
             f"got shape {weights.shape}"
         )
-    if graph.m and weights.min() < 0.0:
+    if not graph.m:
+        return
+    if weights.min() < 0:
         raise GraphError("LT weights must be non-negative")
-    for v in range(graph.n):
-        start, stop = graph.in_ptr[v], graph.in_ptr[v + 1]
-        if start == stop:
-            continue
-        total = weights[start:stop].sum()
-        if total > 1.0 + 1e-9:
-            raise GraphError(
-                f"LT in-weights of vertex {v} sum to {total:.6f} > 1"
-            )
+    targets = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(graph.in_ptr))
+    totals = np.bincount(targets, weights=weights, minlength=graph.n)
+    over = np.flatnonzero(totals > 1.0 + 1e-9)
+    if over.size:
+        v = int(over[0])
+        raise GraphError(
+            f"LT in-weights of vertex {v} sum to {totals[v]:.6f} > 1"
+        )

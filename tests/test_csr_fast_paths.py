@@ -18,7 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import repro.propagation.ic as ic_module
+import repro.propagation.kernels as kernels_module
 from repro.storage.compression import (
     Codec,
     compress_ids,
@@ -35,8 +35,12 @@ from repro.core.coverage import (
 from repro.core.rr_index import KeywordCoverageCSR, _invert
 from repro.core.sampler import sample_uniform_roots, sample_weighted_roots
 from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
 from repro.graph.generators import twitter_like
 from repro.propagation.ic import IndependentCascade
+from repro.propagation.lt import LinearThreshold
+from repro.propagation.triggering import GeneralTriggering
+from repro.utils.rrsets import FlatRRSets
 
 
 @pytest.fixture(scope="module")
@@ -126,7 +130,7 @@ class TestBatchedSamplerEquivalence:
 
     def test_chunking_preserves_contract(self, model, monkeypatch):
         """Tiny chunk budget: many chunks, same structural guarantees."""
-        monkeypatch.setattr(ic_module, "_MAX_STATE_CELLS", model.graph.n * 3)
+        monkeypatch.setattr(kernels_module, "_MAX_STATE_CELLS", model.graph.n * 3)
         roots = sample_uniform_roots(model.graph.n, 50, np.random.default_rng(12))
         sets = model.sample_rr_sets_batch(roots, np.random.default_rng(13))
         assert len(sets) == len(roots)
@@ -141,6 +145,273 @@ class TestBatchedSamplerEquivalence:
             model.sample_rr_sets_batch([model.graph.n], np.random.default_rng(1))
         with pytest.raises(GraphError):
             model.sample_rr_sets_batch([-1], np.random.default_rng(1))
+
+
+@pytest.fixture(scope="module")
+def lt_model():
+    return LinearThreshold(twitter_like(400, avg_degree=8, rng=31), weight_rng=32)
+
+
+class TestLTBatchedSamplerEquivalence:
+    """The single-pick kernel draws the scalar LT walk's distribution."""
+
+    THETA = 4000
+
+    def _scalar(self, model, rng):
+        gen = np.random.default_rng(rng)
+        roots = sample_uniform_roots(model.graph.n, self.THETA, gen)
+        return [model.sample_rr_set(int(r), gen) for r in roots]
+
+    def _batched(self, model, rng):
+        gen = np.random.default_rng(rng)
+        roots = sample_uniform_roots(model.graph.n, self.THETA, gen)
+        return model.sample_rr_sets_batch(roots, gen)
+
+    def test_mean_rr_size_within_ci(self, lt_model):
+        scalar = self._scalar(lt_model, 111)
+        batched = self._batched(lt_model, 222)
+        s_sizes = np.array([len(rr) for rr in scalar], dtype=float)
+        b_sizes = np.array([len(rr) for rr in batched], dtype=float)
+        stderr = np.sqrt(
+            s_sizes.var() / len(s_sizes) + b_sizes.var() / len(b_sizes)
+        )
+        assert abs(s_sizes.mean() - b_sizes.mean()) <= 5 * max(stderr, 1e-9)
+
+    def test_coverage_estimates_within_ci(self, lt_model):
+        """F_θ(S)/θ must agree between the kernels (Lemma 1 both ways)."""
+        seeds = {0, 7, 42}
+        hits = {}
+        for name, rr_sets in (
+            ("scalar", self._scalar(lt_model, 313)),
+            ("batched", self._batched(lt_model, 414)),
+        ):
+            hits[name] = np.array(
+                [bool(seeds & set(rr.tolist())) for rr in rr_sets], dtype=float
+            )
+        stderr = np.sqrt(
+            hits["scalar"].var() / self.THETA + hits["batched"].var() / self.THETA
+        )
+        diff = abs(hits["scalar"].mean() - hits["batched"].mean())
+        assert diff <= 5 * max(stderr, 1e-9)
+
+    def test_per_vertex_inclusion_frequencies(self, lt_model):
+        """Inclusion frequency of every vertex for one fixed root."""
+        theta = 3000
+        n = lt_model.graph.n
+        root = 5
+        freq = {}
+        for name, sampler in (
+            (
+                "scalar",
+                lambda g: [lt_model.sample_rr_set(root, g) for _ in range(theta)],
+            ),
+            (
+                "batched",
+                lambda g: lt_model.sample_rr_sets_batch(
+                    np.full(theta, root, dtype=np.int64), g
+                ),
+            ),
+        ):
+            counts = np.zeros(n)
+            for rr in sampler(np.random.default_rng(56)):
+                counts[rr] += 1
+            freq[name] = counts / theta
+        p = (freq["scalar"] + freq["batched"]) / 2
+        envelope = 5 * np.sqrt(np.maximum(p * (1 - p), 1e-12) * 2 / theta)
+        assert np.all(np.abs(freq["scalar"] - freq["batched"]) <= envelope + 1e-9)
+
+    def test_explicit_weight_pick_probabilities(self):
+        """P[u ∈ RR(2)] equals b(u, 2) exactly (two-in-edge fixture)."""
+        g = DiGraph.from_edges(3, [(0, 2), (1, 2)])
+        model = LinearThreshold(g, weights=np.array([0.3, 0.5]))
+        n = 30_000
+        hits = np.zeros(3)
+        batch = model.sample_rr_sets_batch(
+            np.full(n, 2, dtype=np.int64), np.random.default_rng(44)
+        )
+        for rr in batch:
+            hits[rr] += 1
+        assert hits[0] / n == pytest.approx(0.3, abs=0.02)
+        assert hits[1] / n == pytest.approx(0.5, abs=0.02)
+        assert hits[2] == n  # root always present
+        # At most one in-edge ever picked per walk.
+        for rr in batch:
+            assert not {0, 1} <= set(rr.tolist())
+
+    def test_structural_contract(self, lt_model):
+        """Sorted, root included, one set per root, ids in range."""
+        roots = sample_uniform_roots(
+            lt_model.graph.n, 64, np.random.default_rng(19)
+        )
+        sets = lt_model.sample_rr_sets_batch(roots, np.random.default_rng(20))
+        assert len(sets) == len(roots)
+        for root, rr in zip(roots, sets):
+            assert rr.dtype == np.int64
+            assert root in rr
+            assert np.all(np.diff(rr) > 0)
+            assert rr[0] >= 0 and rr[-1] < lt_model.graph.n
+
+    def test_chunking_preserves_contract(self, lt_model, monkeypatch):
+        monkeypatch.setattr(
+            kernels_module, "_MAX_STATE_CELLS", lt_model.graph.n * 3
+        )
+        roots = sample_uniform_roots(
+            lt_model.graph.n, 50, np.random.default_rng(21)
+        )
+        sets = lt_model.sample_rr_sets_batch(roots, np.random.default_rng(22))
+        assert len(sets) == len(roots)
+        for root, rr in zip(roots, sets):
+            assert root in rr and np.all(np.diff(rr) > 0)
+
+    def test_empty_roots(self, lt_model):
+        assert lt_model.sample_rr_sets_batch([], np.random.default_rng(1)) == []
+
+    def test_out_of_range_root_rejected(self, lt_model):
+        with pytest.raises(GraphError):
+            lt_model.sample_rr_sets_batch(
+                [lt_model.graph.n], np.random.default_rng(1)
+            )
+        with pytest.raises(GraphError):
+            lt_model.sample_rr_sets_batch([-1], np.random.default_rng(1))
+
+    def test_cycle_terminates(self):
+        """Full-weight cycles: every walk must stop on revisit."""
+        g = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        model = LinearThreshold(g)
+        for rr in model.sample_rr_sets_batch(
+            np.array([0, 1, 2, 0]), np.random.default_rng(2)
+        ):
+            assert len(rr) <= 3
+
+
+class TestTriggeringBatchedKernels:
+    """Declared trigger distributions ride the batched kernels."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return twitter_like(200, avg_degree=6, rng=35)
+
+    def test_independent_matches_ic_distribution(self, graph):
+        """TR(edge_probs) batched ≈ native IC scalar, per-vertex 5σ."""
+        ic = IndependentCascade(graph)
+        tr = GeneralTriggering.independent(graph)
+        theta, root, n = 3000, 11, graph.n
+        counts_ic = np.zeros(n)
+        gen = np.random.default_rng(61)
+        for _ in range(theta):
+            counts_ic[ic.sample_rr_set(root, gen)] += 1
+        counts_tr = np.zeros(n)
+        batch = tr.sample_rr_sets_batch(
+            np.full(theta, root, dtype=np.int64), np.random.default_rng(62)
+        )
+        assert isinstance(batch, FlatRRSets)  # kernel path, not fallback
+        for rr in batch:
+            counts_tr[rr] += 1
+        p = (counts_ic + counts_tr) / (2 * theta)
+        envelope = 5 * np.sqrt(np.maximum(p * (1 - p), 1e-12) * 2 / theta)
+        assert np.all(
+            np.abs(counts_ic - counts_tr) / theta <= envelope + 1e-9
+        )
+
+    def test_single_pick_matches_lt_distribution(self, graph):
+        """TR(pick_weights) batched ≈ native LT scalar, per-vertex 5σ."""
+        lt = LinearThreshold(graph, weight_rng=36)
+        tr = GeneralTriggering.single_pick(graph, lt.weights)
+        theta, root, n = 3000, 11, graph.n
+        counts_lt = np.zeros(n)
+        gen = np.random.default_rng(63)
+        for _ in range(theta):
+            counts_lt[lt.sample_rr_set(root, gen)] += 1
+        counts_tr = np.zeros(n)
+        batch = tr.sample_rr_sets_batch(
+            np.full(theta, root, dtype=np.int64), np.random.default_rng(64)
+        )
+        assert isinstance(batch, FlatRRSets)
+        for rr in batch:
+            counts_tr[rr] += 1
+        p = (counts_lt + counts_tr) / (2 * theta)
+        envelope = 5 * np.sqrt(np.maximum(p * (1 - p), 1e-12) * 2 / theta)
+        assert np.all(
+            np.abs(counts_lt - counts_tr) / theta <= envelope + 1e-9
+        )
+
+    def test_undeclared_distribution_falls_back_to_scalar(self, graph):
+        """An arbitrary callable keeps the per-root fallback (a list)."""
+        tr = GeneralTriggering(
+            graph, lambda v, gen: np.empty(0, dtype=np.int64)
+        )
+        batch = tr.sample_rr_sets_batch([3, 4], np.random.default_rng(9))
+        assert isinstance(batch, list)
+        assert [rr.tolist() for rr in batch] == [[3], [4]]
+
+    def test_conflicting_declarations_rejected(self, graph):
+        with pytest.raises(GraphError):
+            GeneralTriggering(
+                graph,
+                lambda v, gen: np.empty(0, dtype=np.int64),
+                edge_probs=graph.in_prob,
+                pick_weights=graph.in_prob,
+            )
+
+    def test_negative_pick_weights_rejected(self, graph):
+        """Negative weights would de-sort the searchsorted keys."""
+        weights = np.full(graph.m, 1.0 / max(graph.m, 1))
+        weights[0] = -0.5
+        with pytest.raises(GraphError, match="non-negative"):
+            GeneralTriggering.single_pick(graph, weights)
+
+
+class TestFlatRRSets:
+    """The flat container is a faithful Sequence[np.ndarray]."""
+
+    def make(self):
+        return FlatRRSets(
+            np.array([0, 2, 2, 5]), np.array([3, 7, 1, 4, 9])
+        )
+
+    def test_sequence_semantics(self):
+        sets = self.make()
+        assert len(sets) == 3
+        assert sets[0].tolist() == [3, 7]
+        assert sets[1].tolist() == []
+        assert sets[-1].tolist() == [1, 4, 9]
+        assert [rr.tolist() for rr in sets] == [[3, 7], [], [1, 4, 9]]
+        assert [rr.tolist() for rr in sets[1:]] == [[], [1, 4, 9]]
+        with pytest.raises(IndexError):
+            sets[3]
+        assert sets.sizes().tolist() == [2, 0, 3]
+        assert sets.total_size == 5
+
+    def test_mismatched_ptr_rejected(self):
+        with pytest.raises(ValueError):
+            FlatRRSets(np.array([0, 3]), np.array([1]))
+
+    def test_concatenate(self):
+        merged = FlatRRSets.concatenate([self.make(), self.make()])
+        assert len(merged) == 6
+        assert merged.sizes().tolist() == [2, 0, 3, 2, 0, 3]
+        assert merged[3].tolist() == [3, 7]
+
+    def test_coverage_instance_matches_list_form(self, model):
+        roots = sample_uniform_roots(model.graph.n, 300, np.random.default_rng(71))
+        flat = model.sample_rr_sets_batch(roots, np.random.default_rng(72))
+        assert isinstance(flat, FlatRRSets)
+        fast = CoverageInstance(model.graph.n, flat)
+        slow = CoverageInstance(model.graph.n, list(flat))
+        assert fast.counts().tolist() == slow.counts().tolist()
+        for k in (1, 5, 20):
+            assert lazy_greedy_max_coverage(fast, k) == lazy_greedy_max_coverage(
+                slow, k
+            )
+
+    def test_invert_matches_list_form(self, model):
+        roots = sample_uniform_roots(model.graph.n, 200, np.random.default_rng(73))
+        flat = model.sample_rr_sets_batch(roots, np.random.default_rng(74))
+        fast = _invert(flat)
+        slow = _invert(list(flat))
+        assert [v for v, _ in fast] == [v for v, _ in slow]
+        for (_va, ids_a), (_vb, ids_b) in zip(fast, slow):
+            assert np.array_equal(ids_a, ids_b)
 
 
 class TestWeightedRootsSearchsorted:
@@ -378,3 +649,266 @@ class TestQueryLayerCSR:
             assert lazy_greedy_max_coverage(fast, k) == lazy_greedy_max_coverage(
                 legacy, k
             )
+
+
+# ----------------------------------------------------------------------
+# (c) array-native IRR NRA bit-identical to the dict/heap reference
+# ----------------------------------------------------------------------
+def reference_irr_nra(index, query):
+    """The pre-array NRA (per-vertex dicts + one-push heap feeding).
+
+    Verbatim port of the previous ``IRRIndex.query`` inner loop, kept as
+    the regression reference: the array-native engine must return
+    bit-identical seeds/marginals and identical ``rr_sets_loaded`` /
+    ``partitions_loaded`` accounting.  Reads go through the same reader,
+    so only the CPU-side state layout differs.
+    """
+    import heapq
+
+    from repro.core.rr_index import plan_theta_q
+
+    keywords = [index._resolve(kw) for kw in query.keywords]
+    _theta_q, counts, _phi_q = plan_theta_q(keywords, index.catalog)
+
+    class State:
+        def __init__(self, kw):
+            n_partitions, first_lens = index._partition_info[kw]
+            self.active_count = counts[kw]
+            self.n_partitions = n_partitions
+            self.partition_first_lens = first_lens
+            keys, ptr, flat = InvertedListsRecord.decode_csr(
+                index._reader.read(f"ip/{kw}")
+            )
+            self.first_occurrence = dict(
+                zip(keys.tolist(), flat[ptr[:-1]].tolist())
+            )
+            self.next_partition = 0
+            self.loaded_lists = {}
+            self.exact_counts = {}
+            self.covered = np.zeros(self.active_count, dtype=bool)
+            self.covered_n = 0
+            self.members = {}
+
+        @property
+        def exhausted(self):
+            return self.next_partition >= self.n_partitions
+
+        @property
+        def kb(self):
+            if self.exhausted:
+                return 0
+            return min(
+                self.partition_first_lens[self.next_partition],
+                self.active_count,
+            )
+
+        def exact_count(self, vertex):
+            exact = self.exact_counts.get(vertex)
+            if exact is not None:
+                return exact
+            first = self.first_occurrence.get(vertex)
+            if first is None or first >= self.active_count:
+                return 0
+            return None
+
+    states = {kw: State(kw) for kw in keywords}
+    rr_sets_loaded = 0
+    partitions_loaded = 0
+    pq = []
+    enqueued = set()
+    selected = set()
+    seeds = []
+    marginals = []
+
+    def upper_bound(vertex):
+        total = 0
+        complete = True
+        for kw in keywords:
+            state = states[kw]
+            exact = state.exact_count(vertex)
+            if exact is None:
+                total += state.kb
+                complete = False
+            else:
+                total += exact
+        return total, complete
+
+    def load_next_partitions():
+        nonlocal rr_sets_loaded, partitions_loaded
+        any_loaded = False
+        for kw in keywords:
+            state = states[kw]
+            if state.exhausted:
+                continue
+            p = state.next_partition
+            ir_keys, ir_ptr, ir_flat = InvertedListsRecord.decode_csr(
+                index._reader.read(f"ir/{kw}/{p}")
+            )
+            il_keys, il_ptr, il_flat = InvertedListsRecord.decode_csr(
+                index._reader.read(f"il/{kw}/{p}")
+            )
+            partitions_loaded += 1
+            ir_bounds = ir_ptr.tolist()
+            for i, set_id in enumerate(ir_keys.tolist()):
+                state.members[set_id] = ir_flat[ir_bounds[i] : ir_bounds[i + 1]]
+            rr_sets_loaded += int(
+                np.count_nonzero(ir_keys < state.active_count)
+            )
+            state.next_partition += 1
+            active_mask = il_flat < state.active_count
+            if len(il_flat):
+                segments = np.repeat(np.arange(len(il_keys)), np.diff(il_ptr))
+                lengths = np.bincount(
+                    segments[active_mask], minlength=len(il_keys)
+                )
+            else:
+                lengths = np.zeros(len(il_keys), dtype=np.int64)
+            clipped = il_flat[active_mask]
+            if state.covered_n and len(clipped):
+                covered_per = np.bincount(
+                    np.repeat(np.arange(len(il_keys)), lengths)[
+                        state.covered[clipped]
+                    ],
+                    minlength=len(il_keys),
+                )
+                exact = (lengths - covered_per).tolist()
+            else:
+                exact = lengths.tolist()
+            bounds = np.cumsum(lengths).tolist()
+            prev = 0
+            for i, vertex in enumerate(il_keys.tolist()):
+                state.loaded_lists[vertex] = clipped[prev : bounds[i]]
+                state.exact_counts[vertex] = exact[i]
+                prev = bounds[i]
+                if vertex not in selected and vertex not in enqueued:
+                    bound, _complete = upper_bound(vertex)
+                    heapq.heappush(pq, (-bound, vertex))
+                    enqueued.add(vertex)
+            any_loaded = True
+        return any_loaded
+
+    def unseen_bound():
+        return sum(states[kw].kb for kw in keywords)
+
+    while len(seeds) < query.k:
+        if not pq:
+            if load_next_partitions():
+                continue
+            filler = 0
+            while len(seeds) < query.k and filler < index.n_vertices:
+                if filler not in selected:
+                    seeds.append(filler)
+                    marginals.append(0)
+                    selected.add(filler)
+                filler += 1
+            break
+
+        neg_bound, vertex = pq[0]
+        if vertex in selected:
+            heapq.heappop(pq)
+            continue
+        bound = -neg_bound
+        current, complete = upper_bound(vertex)
+        if current != bound:
+            heapq.heapreplace(pq, (-current, vertex))
+            continue
+        if complete and current >= unseen_bound():
+            heapq.heappop(pq)
+            seeds.append(vertex)
+            marginals.append(current)
+            selected.add(vertex)
+            for kw in keywords:
+                state = states[kw]
+                ids = state.loaded_lists.get(vertex)
+                if ids is None or not len(ids):
+                    continue
+                fresh = ids[~state.covered[ids]]
+                if not len(fresh):
+                    continue
+                state.covered[fresh] = True
+                state.covered_n += len(fresh)
+                exact_counts = state.exact_counts
+                for set_id in fresh.tolist():
+                    members = state.members.get(set_id)
+                    if members is None:
+                        continue
+                    for u in members.tolist():
+                        current = exact_counts.get(u)
+                        if current is not None:
+                            exact_counts[u] = current - 1
+        else:
+            if not load_next_partitions():
+                raise AssertionError("reference NRA stalled")
+
+    return seeds, marginals, rr_sets_loaded, partitions_loaded
+
+
+class TestIRRArrayNativeNRA:
+    """Flat-array NRA == the dict/heap reference, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def irr_index_path(self, tmp_path_factory):
+        from repro.core.irr_index import IRRIndexBuilder
+        from repro.core.theta import ThetaPolicy
+        from repro.profiles.generators import zipf_profiles
+        from repro.profiles.topics import TopicSpace
+
+        graph = twitter_like(300, avg_degree=8, rng=81)
+        model = IndependentCascade(graph)
+        topics = TopicSpace.default(8)
+        profiles = zipf_profiles(graph.n, topics, rng=82)
+        policy = ThetaPolicy(epsilon=1.0, K=50, cap=400)
+        path = str(tmp_path_factory.mktemp("irr_nra") / "index.irr")
+        IRRIndexBuilder(model, profiles, policy=policy, delta=25, rng=83).build(
+            path
+        )
+        return path
+
+    QUERIES = [
+        (("music",), 1),
+        (("music",), 8),
+        (("music", "book"), 5),
+        (("music", "book", "sport"), 12),
+        (("software", "journal"), 30),
+    ]
+
+    @pytest.mark.parametrize("keywords,k", QUERIES)
+    def test_seeds_and_io_accounting_identical(
+        self, irr_index_path, keywords, k
+    ):
+        from repro.core.irr_index import IRRIndex
+        from repro.core.query import KBTIMQuery
+
+        query = KBTIMQuery(keywords, k)
+        with IRRIndex(irr_index_path) as index:
+            answer = index.query(query)
+            ref = reference_irr_nra(index, query)
+        assert list(answer.seeds) == ref[0]
+        assert list(answer.marginal_coverages) == ref[1]
+        assert answer.stats.rr_sets_loaded == ref[2]
+        assert answer.stats.partitions_loaded == ref[3]
+
+    def test_decode_cache_capacity_does_not_affect_results(
+        self, irr_index_path
+    ):
+        """Cold (capacity 0) and warm caches answer identically."""
+        from repro.core.irr_index import IRRIndex
+        from repro.core.query import KBTIMQuery
+
+        query = KBTIMQuery(("music", "book"), 10)
+        with IRRIndex(irr_index_path, decode_cache_partitions=0) as cold:
+            a = cold.query(query)
+            b = cold.query(query)  # second pass re-decodes everything
+            assert len(cold._decode_cache) == 0
+        with IRRIndex(irr_index_path, decode_cache_partitions=512) as warm:
+            c = warm.query(query)
+            d = warm.query(query)
+        assert a.seeds == b.seeds == c.seeds == d.seeds
+        assert (
+            a.marginal_coverages
+            == b.marginal_coverages
+            == c.marginal_coverages
+            == d.marginal_coverages
+        )
+        assert a.stats.rr_sets_loaded == d.stats.rr_sets_loaded
+        assert a.stats.partitions_loaded == d.stats.partitions_loaded
