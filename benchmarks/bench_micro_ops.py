@@ -12,6 +12,7 @@ import pytest
 from repro.core.coverage import CoverageInstance, lazy_greedy_max_coverage
 from repro.core.irr_index import IRRIndex, IRRIndexBuilder
 from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
 from repro.core.sampler import sample_rr_sets, sample_uniform_roots
 from repro.core.theta import ThetaPolicy
 from repro.graph.generators import twitter_like
@@ -22,6 +23,11 @@ from repro.propagation.lt import LinearThreshold
 from repro.storage.compression import Codec, compress_ids, decompress_ids
 from repro.storage.pager import BufferPool, PagedFile
 from repro.storage.records import RRSetsRecord
+from repro.storage.varint import (
+    decode_varints,
+    decode_varints_block,
+    encode_varints,
+)
 
 
 @pytest.fixture(scope="module")
@@ -146,6 +152,65 @@ def test_rr_record_decode_throughput(rr_sets, benchmark):
     record = RRSetsRecord.encode(rr_sets, Codec.PFOR)
 
     benchmark(lambda: RRSetsRecord.decode_all(record))
+
+
+#: One record's worth of gap varints — the stream shape the block varint
+#: decoder sees on the cold query path (VARINT-codec lists and PFoR
+#: exception pairs are back-to-back varint runs).
+_VARINT_STREAM = encode_varints(
+    np.random.default_rng(85).integers(1, 1 << 20, size=5000).tolist()
+)
+
+
+def test_varint_decode_scalar_reference(benchmark):
+    """The byte-at-a-time walk, kept as the bit-exactness reference.
+
+    Paired with :func:`test_varint_decode_block` on the identical
+    5000-varint stream; the ratio is the block-decoder speedup
+    BENCH_pr3.json records.
+    """
+    benchmark(lambda: decode_varints(_VARINT_STREAM, 5000))
+
+
+def test_varint_decode_block(benchmark):
+    """The vectorised block decoder on the same 5000-varint stream."""
+    benchmark(lambda: decode_varints_block(_VARINT_STREAM, 5000))
+
+
+@pytest.fixture(scope="module")
+def rr_index_path(tmp_path_factory):
+    """A small RR index over the same world as the IRR bench fixture."""
+    model = IndependentCascade(twitter_like(1000, avg_degree=10, rng=91))
+    topics = TopicSpace.default(12)
+    profiles = zipf_profiles(model.graph.n, topics, rng=92)
+    policy = ThetaPolicy(epsilon=0.5, K=50, cap=2000)
+    path = str(tmp_path_factory.mktemp("rr_bench") / "index.rr")
+    RRIndexBuilder(model, profiles, policy=policy, rng=93).build(path)
+    return path
+
+
+def test_rr_query_latency_cold_uncached(rr_index_path, benchmark):
+    """RR query latency with the prefix cache disabled (capacity 0).
+
+    Every query re-reads and re-decodes its keyword blocks — the cold
+    decode-per-query behaviour the hot-prefix cache removes.
+    """
+    with RRIndex(rr_index_path, prefix_cache_keywords=0) as index:
+        benchmark(lambda: [index.query(q) for q in _IRR_QUERIES])
+
+
+def test_rr_query_latency_prefix_cached(rr_index_path, benchmark):
+    """RR query latency with the decoded-prefix cache warm.
+
+    The same query mix served by slicing cached keyword prefixes; the
+    ratio against :func:`test_rr_query_latency_cold_uncached` is the
+    hot-prefix-cache speedup BENCH_pr3.json records.
+    """
+    with RRIndex(rr_index_path) as index:
+        for query in _IRR_QUERIES:  # prime the prefix cache
+            index.query(query)
+
+        benchmark(lambda: [index.query(q) for q in _IRR_QUERIES])
 
 
 def test_greedy_coverage(rr_sets, model, benchmark):

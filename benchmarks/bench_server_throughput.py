@@ -30,10 +30,15 @@ def serving_setup(ctx):
 
 
 def test_cold_index_queries(serving_setup, benchmark):
+    """Per-query cold cost: every query re-reads and re-decodes.
+
+    The decoded-prefix cache is disabled so this stays the cold baseline
+    the warm-server comparison is measured against.
+    """
     path, queries = serving_setup
 
     def run_cold():
-        with RRIndex(path) as index:
+        with RRIndex(path, prefix_cache_keywords=0) as index:
             for query in queries:
                 index.query(query)
 

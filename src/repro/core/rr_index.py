@@ -25,6 +25,7 @@ import json
 import math
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -362,6 +363,26 @@ class KeywordCoverageCSR:
     def n_sets(self) -> int:
         return len(self.set_ptr) - 1
 
+    def clip_prefix(self, count: int) -> "KeywordCoverageCSR":
+        """A view of this block restricted to its first ``count`` sets.
+
+        The CSR layout makes prefix clipping a pure slice of the set-side
+        arrays — no re-decode.  The inverted pairs are count-independent
+        (a block always carries the full ``L_w``; :meth:`active_part`
+        masks them per query), so they are shared as-is.  The returned
+        block shares memory with this one; both are immutable by
+        convention.
+        """
+        if count >= self.n_sets:
+            return self
+        set_ptr = self.set_ptr[: count + 1]
+        return KeywordCoverageCSR(
+            set_ptr,
+            self.set_vertices[: int(set_ptr[-1])],
+            self.inv_vertices,
+            self.inv_sets,
+        )
+
     def active_part(
         self, count: int, base: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -382,6 +403,13 @@ class KeywordCoverageCSR:
         )
 
 
+#: Default capacity of the per-reader decoded-prefix cache (keywords).
+#: Mirrors the serving tier's keyword-block cache; 0 disables caching,
+#: restoring the decode-per-query cold behaviour (and its exact I/O
+#: accounting) without monkeypatching.
+_PREFIX_CACHE_KEYWORDS = 32
+
+
 class RRIndex:
     """Query-time reader for the RR index (Algorithm 2).
 
@@ -389,6 +417,12 @@ class RRIndex:
     headers) into memory, as a database would its system catalog; query
     processing then issues two bounded reads per query keyword — the
     ``θ^Q·p_w`` RR-set prefix and the full inverted-list region.
+
+    Hot keyword prefixes are cached decoded: :meth:`load_keyword_csr`
+    keeps the largest prefix it has decoded per keyword (bounded LRU),
+    and a request for a smaller prefix is served by pure slicing
+    (:meth:`KeywordCoverageCSR.clip_prefix`) instead of re-reading and
+    re-decoding.  ``prefix_cache_keywords=0`` disables the cache.
     """
 
     def __init__(
@@ -398,8 +432,14 @@ class RRIndex:
         stats: Optional[IOStats] = None,
         pool: Optional[BufferPool] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        prefix_cache_keywords: int = _PREFIX_CACHE_KEYWORDS,
     ) -> None:
         self.stats = stats if stats is not None else IOStats()
+        self.prefix_cache_keywords = int(prefix_cache_keywords)
+        # keyword -> (decoded set count, decoded block), LRU-bounded.
+        self._prefix_cache: "OrderedDict[str, Tuple[int, KeywordCoverageCSR]]" = (
+            OrderedDict()
+        )
         self._reader = SegmentReader(
             path, stats=self.stats, pool=pool, page_size=page_size
         )
@@ -483,6 +523,10 @@ class RRIndex:
         :meth:`load_rr_prefix` + :meth:`load_inverted_lists`, but decoded
         through the batch decoder straight into
         :class:`KeywordCoverageCSR` — no per-list Python arrays.
+
+        When the prefix cache is enabled, a cached decode covering at
+        least ``count`` sets is clipped by slicing instead of re-read and
+        re-decoded; a larger request re-decodes and replaces the entry.
         """
         meta = self.catalog.get(keyword)
         if meta is None:
@@ -491,18 +535,36 @@ class RRIndex:
             raise IndexError_(
                 f"requested {count} RR sets but {keyword!r} stores {meta.n_sets}"
             )
+        cache_cap = self.prefix_cache_keywords
+        entry = self._prefix_cache.get(keyword) if cache_cap > 0 else None
+        if entry is not None and entry[0] >= count:
+            self._prefix_cache.move_to_end(keyword)
+            return entry[1].clip_prefix(count)
         _n_sets, group_size, payload_len, payload_start, offsets = self._headers[
             keyword
         ]
         end = RRSetsRecord.prefix_payload_end(offsets, payload_len, group_size, count)
         payload = self._reader.read_range(f"rr/{keyword}", payload_start, end)
         set_ptr, set_vertices = RRSetsRecord.decode_prefix_csr(payload, count)
-        keys, inv_ptr, inv_flat = InvertedListsRecord.decode_csr(
-            self._reader.read(f"inv/{keyword}")
-        )
-        return KeywordCoverageCSR.from_csr_arrays(
-            set_ptr, set_vertices, keys, inv_ptr, inv_flat
-        )
+        if entry is not None:
+            # Upgrading a cached smaller prefix: the inverted pairs are
+            # count-independent, so only the RR prefix is re-read.
+            block = KeywordCoverageCSR(
+                set_ptr, set_vertices, entry[1].inv_vertices, entry[1].inv_sets
+            )
+        else:
+            keys, inv_ptr, inv_flat = InvertedListsRecord.decode_csr(
+                self._reader.read(f"inv/{keyword}")
+            )
+            block = KeywordCoverageCSR.from_csr_arrays(
+                set_ptr, set_vertices, keys, inv_ptr, inv_flat
+            )
+        if cache_cap > 0:
+            self._prefix_cache[keyword] = (count, block)
+            self._prefix_cache.move_to_end(keyword)
+            if len(self._prefix_cache) > cache_cap:
+                self._prefix_cache.popitem(last=False)
+        return block
 
     # ------------------------------------------------------------------
     def query(self, query: KBTIMQuery) -> SeedSelection:
@@ -547,6 +609,10 @@ class RRIndex:
         )
 
     # ------------------------------------------------------------------
+    def evict_prefix_cache(self) -> None:
+        """Drop every cached decoded prefix (for memory-pressure handling)."""
+        self._prefix_cache.clear()
+
     def _resolve(self, keyword) -> str:
         """Accept topic names directly; ids resolve through the id map."""
         if isinstance(keyword, str):

@@ -17,9 +17,9 @@ reads and zero decode work.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import List
+from typing import Deque, List, Tuple
 
 import numpy as np
 
@@ -33,32 +33,84 @@ from repro.utils.validation import check_positive_int
 __all__ = ["KBTIMServer", "ServerStats"]
 
 
+#: Default latency-sample retention.  A long-lived server must not grow
+#: one float per query forever, so latencies live in a ring buffer of
+#: this many samples; percentiles are computed over the retained window.
+_LATENCY_WINDOW = 4096
+
+
 @dataclass
 class ServerStats:
-    """Aggregate serving statistics."""
+    """Aggregate serving statistics.
+
+    Latency samples are bounded: only the most recent ``latency_window``
+    per-query latencies are retained (ring buffer), so a long-lived
+    server's memory stays constant.  :meth:`percentile_latency` is exact
+    over that window; :attr:`mean_latency` stays exact over *all* queries
+    (it is derived from the running totals, not the samples).  Cache
+    counters distinguish query traffic (``keyword_hits`` /
+    ``keyword_misses``) from administrative pre-warming (``warm_loads``),
+    so :attr:`hit_ratio` reflects only what real queries experienced.
+    """
 
     queries: int = 0
     keyword_hits: int = 0
     keyword_misses: int = 0
+    warm_loads: int = 0
     total_seconds: float = 0.0
-    latencies: List[float] = field(default_factory=list)
+    latency_window: int = _LATENCY_WINDOW
+    _latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+
+    @property
+    def latencies(self) -> Tuple[float, ...]:
+        """The retained latency samples (at most ``latency_window``).
+
+        A read-only snapshot: mutate via :meth:`record_latency` only (a
+        tuple makes old ``stats.latencies.append(...)`` callers fail
+        loudly instead of mutating a discarded copy).  The window bound
+        is applied here too, so a runtime shrink takes effect on the
+        next *read*, not only on the next recorded sample.
+        """
+        window = self.latency_window
+        if window <= 0:
+            return ()
+        samples = tuple(self._latencies)
+        return samples[-window:] if len(samples) > window else samples
+
+    def record_latency(self, seconds: float) -> None:
+        """Retain one latency sample, dropping the oldest when full.
+
+        ``latency_window <= 0`` disables retention entirely; resizing the
+        window at runtime keeps the newest samples.
+        """
+        window = self.latency_window
+        if window <= 0:
+            self._latencies.clear()
+            return
+        if self._latencies.maxlen != window:
+            # Window resized at runtime: a bounded deque keeps the newest.
+            self._latencies = deque(self._latencies, maxlen=window)
+        self._latencies.append(seconds)
 
     @property
     def hit_ratio(self) -> float:
-        """Keyword-block cache hit ratio (0 when idle)."""
+        """Query-traffic cache hit ratio (0 when idle; warm loads excluded)."""
         touched = self.keyword_hits + self.keyword_misses
         return self.keyword_hits / touched if touched else 0.0
 
     @property
     def mean_latency(self) -> float:
-        """Mean per-query latency in seconds."""
+        """Mean per-query latency in seconds (exact over all queries)."""
         return self.total_seconds / self.queries if self.queries else 0.0
 
     def percentile_latency(self, q: float) -> float:
-        """Latency percentile (e.g. ``q=95``) over served queries."""
-        if not self.latencies:
+        """Latency percentile (e.g. ``q=95``) over the retained window."""
+        samples = self.latencies
+        if not samples:
             return 0.0
-        return float(np.percentile(self.latencies, q))
+        return float(np.percentile(samples, q))
 
 
 class _KeywordBlock:
@@ -87,6 +139,14 @@ class KBTIMServer:
         context manager, which closes the index on exit).
     cache_keywords:
         Maximum number of keyword blocks held in memory (LRU).
+
+    The server's block cache stacks on the index's own decoded-prefix
+    cache: both store references to the *same* block objects (no array
+    duplication), the index tier additionally serves direct
+    ``RRIndex.query`` callers, and each tier is independently bounded.
+    :meth:`evict_all` clears both so memory-pressure eviction actually
+    releases the blocks; open the index with ``prefix_cache_keywords=0``
+    to run the server as the only caching tier.
     """
 
     def __init__(self, index: RRIndex, *, cache_keywords: int = 64) -> None:
@@ -96,16 +156,25 @@ class KBTIMServer:
         self.stats = ServerStats()
 
     # ------------------------------------------------------------------
-    def _block(self, keyword: str) -> _KeywordBlock:
+    def _block(self, keyword: str, *, warm: bool = False) -> _KeywordBlock:
         block = self._blocks.get(keyword)
         if block is not None:
             self._blocks.move_to_end(keyword)
-            self.stats.keyword_hits += 1
+            if not warm:
+                self.stats.keyword_hits += 1
             return block
-        self.stats.keyword_misses += 1
         meta = self.index.catalog.get(keyword)
         if meta is None:
+            # Validate before counting: a failed lookup was never served
+            # traffic and must not inflate the cache counters.
             raise QueryError(f"keyword {keyword!r} is not in the index")
+        if warm:
+            # Pre-warming is administrative traffic: it must not count as
+            # a miss (that would skew hit_ratio for every deployment that
+            # warms its popular verticals before taking queries).
+            self.stats.warm_loads += 1
+        else:
+            self.stats.keyword_misses += 1
         block = _KeywordBlock(self.index.load_keyword_csr(keyword, meta.n_sets))
         if len(self._blocks) >= self.cache_keywords:
             self._blocks.popitem(last=False)
@@ -137,7 +206,7 @@ class KBTIMServer:
         elapsed = time.perf_counter() - started
         self.stats.queries += 1
         self.stats.total_seconds += elapsed
-        self.stats.latencies.append(elapsed)
+        self.stats.record_latency(elapsed)
         theta_used = instance.n_sets
         stats = QueryStats(
             elapsed_seconds=elapsed,
@@ -155,13 +224,23 @@ class KBTIMServer:
 
     # ------------------------------------------------------------------
     def warm(self, keywords) -> None:
-        """Pre-load keyword blocks (e.g. the most popular verticals)."""
+        """Pre-load keyword blocks (e.g. the most popular verticals).
+
+        Loads are counted under ``stats.warm_loads``, never as cache
+        misses, so pre-warming does not skew ``stats.hit_ratio``.
+        """
         for kw in keywords:
-            self._block(self.index._resolve(kw))
+            self._block(self.index._resolve(kw), warm=True)
 
     def evict_all(self) -> None:
-        """Drop every cached block (for memory-pressure handling)."""
+        """Drop every cached block (for memory-pressure handling).
+
+        Also clears the index's decoded-prefix cache, which retains
+        references to the same blocks — otherwise eviction would free
+        nothing and the next query would silently skip re-reading.
+        """
         self._blocks.clear()
+        self.index.evict_prefix_cache()
 
     @property
     def cached_keywords(self) -> List[str]:

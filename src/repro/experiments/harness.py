@@ -238,15 +238,48 @@ class ExperimentContext:
         self._builds[key] = report
         return report
 
-    def open_rr(self, dataset: Dataset, **kwargs) -> RRIndex:
-        """Build-if-needed and open the RR index of ``dataset``."""
-        self.build_index(dataset, kind="rr", **kwargs)
-        return RRIndex(self.index_path(dataset, kind="rr", **kwargs))
+    def open_rr(
+        self,
+        dataset: Dataset,
+        *,
+        prefix_cache_keywords: Optional[int] = None,
+        **kwargs,
+    ) -> RRIndex:
+        """Build-if-needed and open the RR index of ``dataset``.
 
-    def open_irr(self, dataset: Dataset, **kwargs) -> IRRIndex:
-        """Build-if-needed and open the IRR index of ``dataset``."""
+        ``prefix_cache_keywords=0`` opens the reader with the decoded-
+        prefix cache disabled — required wherever the experiment measures
+        *per-query* cold cost (the paper's figures), since the default
+        cache would otherwise serve repeated keywords from memory.
+        """
+        self.build_index(dataset, kind="rr", **kwargs)
+        reader_kwargs = {}
+        if prefix_cache_keywords is not None:
+            reader_kwargs["prefix_cache_keywords"] = prefix_cache_keywords
+        return RRIndex(
+            self.index_path(dataset, kind="rr", **kwargs), **reader_kwargs
+        )
+
+    def open_irr(
+        self,
+        dataset: Dataset,
+        *,
+        decode_cache_partitions: Optional[int] = None,
+        **kwargs,
+    ) -> IRRIndex:
+        """Build-if-needed and open the IRR index of ``dataset``.
+
+        ``decode_cache_partitions=0`` disables the decoded-partition
+        memo — the IRR counterpart of ``open_rr``'s cache switch, for
+        experiments measuring per-query cold cost.
+        """
         self.build_index(dataset, kind="irr", **kwargs)
-        return IRRIndex(self.index_path(dataset, kind="irr", **kwargs))
+        reader_kwargs = {}
+        if decode_cache_partitions is not None:
+            reader_kwargs["decode_cache_partitions"] = decode_cache_partitions
+        return IRRIndex(
+            self.index_path(dataset, kind="irr", **kwargs), **reader_kwargs
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -4,6 +4,12 @@ The PFoR-style codec in :mod:`repro.storage.compression` packs each block's
 values into ``b`` bits each.  This module implements that primitive: pack a
 ``uint64`` array into a little-endian bitstream of ``width`` bits per value
 and unpack it back, both vectorised through numpy's ``packbits`` support.
+
+:func:`unpack_width_group` is the batched form the record decoders drive:
+many same-width blocks, concatenated byte-aligned, unpacked with a single
+``unpackbits`` + gather + matmul.  The per-block :func:`unpack_fixed_width`
+remains the scalar-path fallback (and the reference the batch is tested
+against).
 """
 
 from __future__ import annotations
@@ -13,8 +19,14 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import StorageError
+from repro.utils.segments import segmented_arange
 
-__all__ = ["pack_fixed_width", "unpack_fixed_width", "bits_needed"]
+__all__ = [
+    "pack_fixed_width",
+    "unpack_fixed_width",
+    "unpack_width_group",
+    "bits_needed",
+]
 
 _MAX_WIDTH = 64
 
@@ -72,3 +84,27 @@ def unpack_fixed_width(data: bytes, width: int, count: int) -> np.ndarray:
     bit_matrix = bits.reshape(count, width).astype(np.uint64)
     weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
     return bit_matrix @ weights
+
+
+def unpack_width_group(
+    packed: np.ndarray,
+    byte_starts: np.ndarray,
+    value_counts: np.ndarray,
+    width: int,
+) -> np.ndarray:
+    """Unpack many same-``width`` blocks concatenated in ``packed``.
+
+    ``packed`` is a ``uint8`` array holding the blocks' payload bytes back
+    to back; block ``i`` starts at byte ``byte_starts[i]`` and carries
+    ``value_counts[i]`` values (each block's values start byte-aligned,
+    exactly as :func:`pack_fixed_width` emits them).  Returns the
+    ``uint64`` values of every block, concatenated — one ``unpackbits``
+    + segmented gather + matmul for the whole group, which is how the
+    batch record decoder amortises thousands of tiny blocks.
+    """
+    if not 1 <= width <= _MAX_WIDTH:
+        raise StorageError(f"width must be in [1, {_MAX_WIDTH}], got {width}")
+    bits = np.unpackbits(packed, bitorder="little")
+    gather = segmented_arange(byte_starts * 8, value_counts * width)
+    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+    return bits[gather].reshape(-1, width).astype(np.uint64) @ weights

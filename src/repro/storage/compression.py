@@ -25,11 +25,16 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import StorageError
-from repro.storage.bitpack import bits_needed, pack_fixed_width, unpack_fixed_width
+from repro.storage.bitpack import (
+    bits_needed,
+    pack_fixed_width,
+    unpack_fixed_width,
+    unpack_width_group,
+)
 from repro.utils.segments import segmented_arange
 from repro.storage.varint import (
     decode_varint,
-    decode_varints,
+    decode_varints_block,
     encode_varint,
     encode_varints,
 )
@@ -115,10 +120,23 @@ def decompress_ids(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
         arr = np.frombuffer(data[pos : pos + nbytes], dtype="<u8").astype(np.int64)
         return arr, pos + nbytes
     if codec is Codec.VARINT:
-        gaps, pos = decode_varints(data, count, pos)
-        return np.cumsum(np.asarray(gaps, dtype=np.int64)), pos
+        gaps, pos = decode_varints_block(data, count, pos)
+        _check_id_gaps(gaps)
+        return np.cumsum(gaps.astype(np.int64)), pos
     gaps, pos = _pfor_decode(data, count, pos)
+    _check_id_gaps(gaps)
     return np.cumsum(gaps.astype(np.int64)), pos
+
+
+def _check_id_gaps(gaps: np.ndarray) -> None:
+    """Reject decoded ``uint64`` gaps outside the signed id domain.
+
+    Ids are ``int64``, so a gap at or above 2^63 can only come from a
+    corrupt stream; it must raise rather than wrap negative through the
+    later int64 cast and flow on as silently wrong ids.
+    """
+    if len(gaps) and int(gaps.max()) > 0x7FFF_FFFF_FFFF_FFFF:
+        raise StorageError("id gap exceeds the signed 64-bit id domain")
 
 
 # ----------------------------------------------------------------------
@@ -165,20 +183,24 @@ def _pfor_decode(data: bytes, count: int, offset: int) -> Tuple[np.ndarray, int]
         if not 1 <= width <= 64:
             raise StorageError(f"bad PFoR width {width}")
         n_exceptions, pos = decode_varint(data, pos)
-        exceptions = []
-        for _ in range(n_exceptions):
-            p, pos = decode_varint(data, pos)
-            excess, pos = decode_varint(data, pos)
-            if p >= block_len:
+        if n_exceptions:
+            # (position, excess) pairs are back-to-back varints: one
+            # block decode, then de-interleave.  Range-check on the
+            # unsigned values — an int64 cast first would wrap corrupt
+            # positions >= 2^63 negative, past the guard.
+            pairs, pos = decode_varints_block(data, 2 * n_exceptions, pos)
+            if np.any(pairs[0::2] >= np.uint64(block_len)):
                 raise StorageError("PFoR exception position out of range")
-            exceptions.append((p, excess))
+            positions_ = pairs[0::2].astype(np.int64)
         payload_bytes = (width * block_len + 7) // 8
         if pos + payload_bytes > len(data):
             raise StorageError("truncated PFoR payload")
         block = unpack_fixed_width(data[pos : pos + payload_bytes], width, block_len)
         pos += payload_bytes
-        for p, excess in exceptions:
-            block[p] |= np.uint64(excess) << np.uint64(width)
+        if n_exceptions:
+            # bitwise_or.at, not fancy |=: duplicate positions (corrupt
+            # but decodable) must OR-accumulate like the sequential walk.
+            np.bitwise_or.at(block, positions_, pairs[1::2] << np.uint64(width))
         gaps[filled : filled + block_len] = block
         filled += block_len
     return gaps, pos
@@ -251,10 +273,9 @@ class BatchIdDecoder:
             self._dest += count
             return pos + nbytes
         if tag == _VARINT_TAG:
-            gaps, pos = decode_varints(data, count, pos)
-            self._eager.append(
-                (self._dest, np.asarray(gaps, dtype=np.uint64))
-            )
+            gaps, pos = decode_varints_block(data, count, pos)
+            _check_id_gaps(gaps)  # same corrupt-gap guard as decompress_ids
+            self._eager.append((self._dest, gaps))
             self._dest += count
             return pos
         if tag != _PFOR_TAG:
@@ -273,12 +294,17 @@ class BatchIdDecoder:
                 pos += 1
             else:
                 n_exceptions, pos = decode_varint(data, pos)
-            for _ in range(n_exceptions):
-                p, pos = decode_varint(data, pos)
-                excess, pos = decode_varint(data, pos)
-                if p >= block_len:
-                    raise StorageError("PFoR exception position out of range")
-                self._exceptions.append((self._dest + filled + p, excess, width))
+            if n_exceptions:
+                pairs, pos = decode_varints_block(data, 2 * n_exceptions, pos)
+                base_dest = self._dest + filled
+                for p, excess in zip(
+                    pairs[0::2].tolist(), pairs[1::2].tolist()
+                ):
+                    if p >= block_len:
+                        raise StorageError(
+                            "PFoR exception position out of range"
+                        )
+                    self._exceptions.append((base_dest + p, excess, width))
             payload_bytes = (width * block_len + 7) // 8
             if pos + payload_bytes > len(data):
                 raise StorageError("truncated PFoR payload")
@@ -325,6 +351,19 @@ class BatchIdDecoder:
             gaps[dest : dest + len(eager)] = eager
         for dest, excess, width in self._exceptions:
             gaps[dest] |= np.uint64(excess) << np.uint64(width)
+        if self._exceptions:
+            # Same corrupt-gap guard as decompress_ids' PFoR branch: an
+            # excess-patched value can escape the signed id domain.  (The
+            # width-group unpack checks its own width-64 blocks; RAW
+            # first-differences intentionally stay unchecked — their
+            # wraparound is what reproduces absolute ids exactly.)
+            _check_id_gaps(
+                gaps[np.fromiter(
+                    (dest for dest, _e, _w in self._exceptions),
+                    dtype=np.int64,
+                    count=len(self._exceptions),
+                )]
+            )
 
         # Segmented prefix sum: one global cumsum, then subtract each
         # list's running base so ids restart at every list boundary.
@@ -350,7 +389,6 @@ class BatchIdDecoder:
         cum_bits = np.cumsum(value_counts * width)
         pos_list = positions.tolist()
         byte_list = byte_lens.tolist()
-        weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
         start = 0
         n = len(positions)
         while start < n:
@@ -368,14 +406,15 @@ class BatchIdDecoder:
                 ),
                 dtype=np.uint8,
             )
-            bits = np.unpackbits(packed, bitorder="little")
-            # Each block's values start at its byte-aligned bit offset.
-            bit_starts = np.empty(stop - start, dtype=np.int64)
-            bit_starts[0] = 0
-            np.cumsum(bytes_chunk[:-1], out=bit_starts[1:])
-            bit_starts *= 8
-            gather = segmented_arange(bit_starts, counts_chunk * width)
-            values = bits[gather].reshape(-1, width).astype(np.uint64) @ weights
+            # Each block's values start at its byte-aligned offset.
+            byte_starts = np.empty(stop - start, dtype=np.int64)
+            byte_starts[0] = 0
+            np.cumsum(bytes_chunk[:-1], out=byte_starts[1:])
+            values = unpack_width_group(packed, byte_starts, counts_chunk, width)
+            if width == 64:
+                # Only full-width blocks can natively encode a gap
+                # outside the signed id domain.
+                _check_id_gaps(values)
             gaps[segmented_arange(dests[start:stop], counts_chunk)] = values
             start = stop
 

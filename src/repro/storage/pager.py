@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Set, Tuple, Union
 
 from repro.errors import StorageError
 from repro.storage.iostats import IOStats
@@ -34,6 +34,9 @@ class BufferPool:
             raise StorageError(f"capacity_pages must be >= 1, got {capacity_pages}")
         self.capacity_pages = capacity_pages
         self._pages: "OrderedDict[Tuple[int, int], bytes]" = OrderedDict()
+        # Per-file page-number index so invalidate_file is O(pages of
+        # that file) instead of a scan of the whole pool on every close.
+        self._by_file: Dict[int, Set[int]] = {}
 
     def get(self, key: Tuple[int, int]) -> Optional[bytes]:
         """Return the cached page and mark it most-recently used."""
@@ -49,14 +52,22 @@ class BufferPool:
             self._pages[key] = page
             return
         if len(self._pages) >= self.capacity_pages:
-            self._pages.popitem(last=False)
+            evicted, _ = self._pages.popitem(last=False)
+            file_pages = self._by_file[evicted[0]]
+            file_pages.discard(evicted[1])
+            if not file_pages:
+                del self._by_file[evicted[0]]
         self._pages[key] = page
+        self._by_file.setdefault(key[0], set()).add(key[1])
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all pages of one file (called when a file is rewritten)."""
-        stale = [key for key in self._pages if key[0] == file_id]
-        for key in stale:
-            del self._pages[key]
+        for page_no in self._by_file.pop(file_id, ()):
+            del self._pages[(file_id, page_no)]
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        """Residency check that does not disturb the LRU order."""
+        return key in self._pages
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -136,6 +147,49 @@ class PagedFile:
             pages_read=pages_read, pages_hit=pages_hit, nbytes=length
         )
         return blob[start : start + length]
+
+    def prefetch(self, offset: int, length: int, budget: Optional[int] = None) -> int:
+        """Fault the pages covering ``[offset, offset+length)`` into the pool.
+
+        Models an async read-ahead: no payload is assembled or returned,
+        missing pages are simply pulled into the buffer pool so a later
+        :meth:`read` of the range is all pool hits.  Accounted as one
+        logical read of zero payload bytes (only the physically fetched
+        pages count; already-resident pages are not re-touched, so their
+        LRU position is preserved).  At most half the pool's capacity is
+        fetched per call — read-ahead is advisory and must not evict the
+        caller's working set (nor its own head) to make room for a range
+        larger than the pool.  ``budget`` tightens that cap further (it
+        never loosens it) so a *batch* of prefetch calls can share one
+        allowance; callers chain it through the returned fetch counts.
+        Returns the number of pages fetched.
+        """
+        if offset < 0 or length < 0:
+            raise StorageError("offset and length must be non-negative")
+        if offset + length > self.size:
+            raise StorageError(
+                f"prefetch past end of file: offset={offset} length={length} "
+                f"size={self.size}"
+            )
+        cap = max(1, self.pool.capacity_pages // 2)
+        if budget is not None:
+            cap = min(cap, budget)
+        if length == 0 or cap <= 0:
+            return 0
+        first_page = offset // self.page_size
+        last_page = (offset + length - 1) // self.page_size
+        pages_read = 0
+        for page_no in range(first_page, last_page + 1):
+            key = (self._file_id, page_no)
+            if key in self.pool:
+                continue
+            if pages_read >= cap:
+                break
+            self._fh.seek(page_no * self.page_size)
+            self.pool.put(key, self._fh.read(self.page_size))
+            pages_read += 1
+        self.stats.record_read(pages_read=pages_read, pages_hit=0, nbytes=0)
+        return pages_read
 
     def close(self) -> None:
         """Close the file handle and drop its cached pages."""

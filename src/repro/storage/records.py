@@ -143,7 +143,9 @@ class RRSetsRecord:
 
         Returns ``(set_ptr, set_vertices)`` — what the coverage engine
         consumes — via the batch decoder, skipping per-set array
-        materialisation entirely.
+        materialisation entirely.  The header walk's varint runs (gap
+        streams, PFoR exception pairs) ride the vectorised block varint
+        decoder; only the per-list tag/count parse stays scalar.
         """
         decoder = BatchIdDecoder(payload)
         pos = 0
@@ -223,7 +225,15 @@ class InvertedListsRecord:
         decoder = BatchIdDecoder(payload)
         pos = 0
         for i in range(n_lists):
-            key, pos = decode_varint(payload, pos)
+            # Inlined single-byte varint fast path: most keys are small
+            # vertex ids, and this header walk runs once per list on the
+            # hot query path (the list bodies themselves go through the
+            # block varint decoder inside ``read_list``).
+            if pos < payload_len and payload[pos] < 0x80:
+                key = payload[pos]
+                pos += 1
+            else:
+                key, pos = decode_varint(payload, pos)
             keys[i] = key
             pos = decoder.read_list(pos)
         if pos != payload_len:

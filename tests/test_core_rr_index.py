@@ -247,3 +247,92 @@ class TestQuery:
             model, online.seeds, n_samples=400, weights=weights, rng=9
         ).mean
         assert off_spread >= 0.8 * on_spread
+
+
+class TestPrefixCache:
+    """Hot-prefix caching in load_keyword_csr: identical results, no
+    re-decode on warm keywords, exact cold accounting when disabled."""
+
+    QUERIES = (
+        KBTIMQuery(["music", "book"], 5),
+        KBTIMQuery(["music"], 3),
+        KBTIMQuery(["music", "book", "sport"], 4),
+        KBTIMQuery(["book"], 5),
+    )
+
+    def test_results_identical_with_and_without_cache(self, built_index):
+        path, _ = built_index
+        with RRIndex(path, prefix_cache_keywords=0) as cold, RRIndex(
+            path
+        ) as cached:
+            for query in self.QUERIES * 2:  # repeats exercise warm path
+                a = cold.query(query)
+                b = cached.query(query)
+                assert a.seeds == b.seeds
+                assert a.marginal_coverages == b.marginal_coverages
+                assert a.theta == b.theta
+                assert a.stats.rr_sets_loaded == b.stats.rr_sets_loaded
+
+    def test_clip_path_matches_fresh_decode(self, built_index):
+        """A smaller prefix served by slicing a cached larger decode must
+        equal a fresh decode of exactly that prefix."""
+        path, _ = built_index
+        with RRIndex(path) as index:
+            kw = "music"
+            n_sets = index.catalog[kw].n_sets
+            small = max(1, n_sets // 3)
+            full = index.load_keyword_csr(kw, n_sets)   # populates cache
+            clipped = index.load_keyword_csr(kw, small)  # slicing, no I/O
+            with RRIndex(path, prefix_cache_keywords=0) as cold:
+                fresh = cold.load_keyword_csr(kw, small)
+            assert clipped.n_sets == fresh.n_sets == small
+            np.testing.assert_array_equal(clipped.set_ptr, fresh.set_ptr)
+            np.testing.assert_array_equal(
+                clipped.set_vertices, fresh.set_vertices
+            )
+            np.testing.assert_array_equal(
+                clipped.inv_vertices, fresh.inv_vertices
+            )
+            np.testing.assert_array_equal(clipped.inv_sets, fresh.inv_sets)
+            assert full.n_sets == n_sets
+
+    def test_warm_keyword_issues_no_reads(self, built_index):
+        path, _ = built_index
+        query = KBTIMQuery(["music", "book"], 4)
+        with RRIndex(path) as index:
+            first = index.query(query)
+            assert first.stats.io.read_calls == 2 * 2  # cold: 2 per keyword
+            warm = index.query(query)
+            assert warm.stats.io.read_calls == 0
+            assert warm.seeds == first.seeds
+
+    def test_disabled_cache_keeps_cold_accounting(self, built_index):
+        path, _ = built_index
+        query = KBTIMQuery(["music", "book"], 4)
+        with RRIndex(path, prefix_cache_keywords=0) as index:
+            for _ in range(3):  # every repetition re-reads and re-decodes
+                assert index.query(query).stats.io.read_calls == 2 * 2
+
+    def test_larger_request_upgrades_entry(self, built_index):
+        path, _ = built_index
+        with RRIndex(path) as index:
+            kw = "music"
+            n_sets = index.catalog[kw].n_sets
+            small = max(1, n_sets // 3)
+            assert index.load_keyword_csr(kw, small).n_sets == small
+            upgraded = index.load_keyword_csr(kw, n_sets)  # must re-decode
+            assert upgraded.n_sets == n_sets
+            # The upgraded entry now serves the small prefix by slicing.
+            before = index.stats.snapshot()
+            again = index.load_keyword_csr(kw, small)
+            assert index.stats.delta(before).read_calls == 0
+            assert again.n_sets == small
+
+    def test_lru_bound_respected(self, built_index):
+        path, _ = built_index
+        with RRIndex(path, prefix_cache_keywords=2) as index:
+            for kw in ("music", "book", "sport"):
+                count = index.catalog[kw].n_sets
+                index.load_keyword_csr(kw, count)
+            assert len(index._prefix_cache) == 2
+            assert "music" not in index._prefix_cache  # oldest evicted

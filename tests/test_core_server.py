@@ -109,3 +109,146 @@ class TestStats:
     def test_bad_cache_size_rejected(self, index_path):
         with pytest.raises(ValueError):
             KBTIMServer(RRIndex(index_path), cache_keywords=0)
+
+
+class TestWarmAccounting:
+    def test_warm_counts_separately(self, server):
+        server.evict_all()
+        hits, misses = server.stats.keyword_hits, server.stats.keyword_misses
+        server.warm(["music", "book"])
+        assert server.stats.warm_loads == 2
+        # Pre-warming must not skew the query-traffic counters at all.
+        assert server.stats.keyword_hits == hits
+        assert server.stats.keyword_misses == misses
+
+    def test_warm_of_cached_keyword_counts_nothing(self, server):
+        server.evict_all()
+        server.warm(["music"])
+        warm_before = server.stats.warm_loads
+        hits_before = server.stats.keyword_hits
+        server.warm(["music"])  # already resident: no load, no hit
+        assert server.stats.warm_loads == warm_before
+        assert server.stats.keyword_hits == hits_before
+
+    def test_hit_ratio_perfect_after_warm(self, server):
+        """A fully pre-warmed server serving only warm queries reports a
+        100% hit ratio (the bug inflated misses and capped it below 1)."""
+        server.evict_all()
+        server.stats.keyword_hits = 0
+        server.stats.keyword_misses = 0
+        server.warm(["music", "book"])
+        server.query(KBTIMQuery(("music", "book"), 3))
+        assert server.stats.hit_ratio == 1.0
+
+
+class TestLatencyBound:
+    def test_samples_bounded_by_window(self, server):
+        server.stats.latency_window = 8
+        for _ in range(20):
+            server.query(KBTIMQuery(("music",), 2))
+        assert len(server.stats.latencies) == 8
+        assert server.stats.percentile_latency(95) > 0.0
+        assert server.stats.percentile_latency(50) <= server.stats.percentile_latency(100)
+
+    def test_ring_overwrites_oldest(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats(latency_window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            stats.record_latency(value)
+        assert sorted(stats.latencies) == [3.0, 4.0, 5.0, 6.0]
+        assert stats.percentile_latency(100) == 6.0
+
+    def test_mean_latency_exact_over_all_queries(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats(latency_window=2)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            stats.queries += 1
+            stats.total_seconds += value
+            stats.record_latency(value)
+        assert stats.mean_latency == pytest.approx(2.5)
+        assert len(stats.latencies) == 2
+
+
+class TestEviction:
+    def test_evict_all_clears_index_prefix_cache(self, server):
+        server.query(KBTIMQuery(("music", "book"), 3))
+        assert len(server.index._prefix_cache) > 0
+        server.evict_all()
+        # Memory-pressure eviction must actually release the blocks: the
+        # index-level prefix cache holds references to the same arrays.
+        assert server.cached_keywords == []
+        assert len(server.index._prefix_cache) == 0
+        # And the next query really re-reads from disk.
+        answer = server.query(KBTIMQuery(("music",), 2))
+        assert answer.stats.io.read_calls > 0
+
+
+class TestLatencyWindowEdgeCases:
+    def test_shrinking_window_at_runtime(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats()
+        for value in range(20):
+            stats.record_latency(float(value))
+        stats.latency_window = 8
+        stats.record_latency(99.0)  # must not raise
+        assert len(stats.latencies) == 8
+        for value in range(30):
+            stats.record_latency(float(value))
+        assert len(stats.latencies) == 8
+
+    def test_zero_window_disables_retention(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats(latency_window=0)
+        stats.record_latency(1.0)
+        stats.record_latency(2.0)
+        assert stats.latencies == ()
+        assert stats.percentile_latency(95) == 0.0
+
+    def test_shrinking_window_keeps_newest_samples(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats(latency_window=16)
+        for value in range(1, 21):  # ring wrapped: holds 5..20
+            stats.record_latency(float(value))
+        stats.latency_window = 8
+        stats.record_latency(99.0)
+        # The 7 newest retained samples plus the new one — never older
+        # samples at the expense of newer ones.
+        assert sorted(stats.latencies) == [14.0, 15.0, 16.0, 17.0, 18.0, 19.0, 20.0, 99.0]
+
+    def test_growing_window_keeps_newest_samples(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats(latency_window=2)
+        for value in (1.0, 2.0):
+            stats.record_latency(value)
+        stats.latency_window = 5
+        for value in (3.0, 4.0, 5.0, 6.0):
+            stats.record_latency(value)
+        assert sorted(stats.latencies) == [2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_shrinking_window_applies_on_read(self):
+        from repro.core.server import ServerStats
+
+        stats = ServerStats(latency_window=16)
+        for value in range(16):
+            stats.record_latency(float(value))
+        stats.latency_window = 4  # no record_latency in between
+        assert len(stats.latencies) == 4
+        assert stats.percentile_latency(100) == 15.0
+        assert stats.percentile_latency(0) == 12.0  # newest 4 retained
+
+    def test_unknown_keyword_does_not_inflate_counters(self, server):
+        from repro.errors import QueryError
+
+        misses, warms = server.stats.keyword_misses, server.stats.warm_loads
+        with pytest.raises(QueryError):
+            server.warm(["typo"])
+        with pytest.raises(Exception):
+            server.query(KBTIMQuery(("typo",), 2))
+        assert server.stats.keyword_misses == misses
+        assert server.stats.warm_loads == warms

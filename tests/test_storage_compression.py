@@ -119,3 +119,96 @@ class TestCompressionBehaviour:
         for codec in Codec:
             blob = compress_ids(ids, codec)
             assert blob[0] == codec.value
+
+
+class TestCorruptStreams:
+    """Corrupt varint payloads must raise StorageError, never wrap."""
+
+    def test_varint_gap_above_signed_domain_rejected(self):
+        """A gap >= 2^63 is a valid 64-bit varint but cannot be an id
+        gap; both decode routes must refuse it rather than emit negative
+        ids through the int64 cast."""
+        from repro.storage.compression import decompress_ids_batch
+        from repro.storage.varint import encode_varint, encode_varints
+
+        payload = (
+            bytes([Codec.VARINT.value])
+            + encode_varint(3)
+            + encode_varints([1, 2**63 + 5, 2])
+        )
+        with pytest.raises(StorageError, match="id domain"):
+            decompress_ids(payload)
+        with pytest.raises(StorageError, match="id domain"):
+            decompress_ids_batch(payload, 1)
+
+    def test_pfor_exception_position_above_signed_domain_rejected(self):
+        """An exception position of 2^64-1 must not wrap to -1 through
+        the int64 cast and silently patch the last block value."""
+        from repro.storage.varint import encode_varint
+
+        ids = np.arange(128, dtype=np.int64) * 2
+        blob = bytearray(compress_ids(ids, Codec.PFOR))
+        # Locate the block header: tag, count varint, then width byte +
+        # n_exceptions varint.  The clean encoding has 0 exceptions.
+        header = 1 + len(encode_varint(128))
+        assert blob[header + 1] == 0  # n_exceptions
+        corrupt = (
+            bytes(blob[: header + 1])
+            + encode_varint(1)                 # one exception
+            + encode_varint(2**64 - 1)         # position: wraps to -1 as int64
+            + encode_varint(1)                 # excess
+            + bytes(blob[header + 2 :])        # original packed payload
+        )
+        with pytest.raises(StorageError, match="out of range"):
+            decompress_ids(corrupt)
+        from repro.storage.compression import decompress_ids_batch
+
+        with pytest.raises(StorageError, match="out of range"):
+            decompress_ids_batch(bytes(corrupt), 1)
+
+    def test_pfor_corrupt_excess_above_signed_domain_rejected(self):
+        """An excess that patches a block value past 2^63 must raise on
+        both decode routes (ids are int64; wrap would go negative)."""
+        from repro.storage.compression import decompress_ids_batch
+        from repro.storage.varint import encode_varint
+
+        ids = np.arange(128, dtype=np.int64) * 2
+        blob = bytearray(compress_ids(ids, Codec.PFOR))
+        header = 1 + len(encode_varint(128))
+        width = blob[header]
+        assert blob[header + 1] == 0  # clean encoding: no exceptions
+        corrupt = (
+            bytes(blob[: header + 1])
+            + encode_varint(1)
+            + encode_varint(5)                        # position
+            + encode_varint(2 ** (63 - width) + 1)    # excess -> >= 2^63
+            + bytes(blob[header + 2 :])
+        )
+        with pytest.raises(StorageError, match="id domain"):
+            decompress_ids(corrupt)
+        with pytest.raises(StorageError, match="id domain"):
+            decompress_ids_batch(bytes(corrupt), 1)
+
+    def test_pfor_duplicate_exception_positions_or_accumulate(self):
+        """Duplicate exception positions (corrupt but decodable) must
+        OR-accumulate identically on both decode routes."""
+        from repro.storage.compression import decompress_ids_batch
+        from repro.storage.varint import encode_varint
+
+        ids = np.arange(128, dtype=np.int64) * 2
+        blob = bytearray(compress_ids(ids, Codec.PFOR))
+        header = 1 + len(encode_varint(128))
+        width = blob[header]
+        corrupt = (
+            bytes(blob[: header + 1])
+            + encode_varint(2)
+            + encode_varint(5) + encode_varint(1)   # pos=5 excess=1
+            + encode_varint(5) + encode_varint(2)   # pos=5 excess=2
+            + bytes(blob[header + 2 :])
+        )
+        a, _ = decompress_ids(bytes(corrupt))
+        _ptr, b, _end = decompress_ids_batch(bytes(corrupt), 1)
+        assert np.array_equal(a, b)
+        # The scalar sequential walk ORs both excesses: 1|2 = 3 << width.
+        expected_bump = 3 << int(width)
+        assert int(a[5]) - int(ids[5]) == expected_bump

@@ -127,3 +127,102 @@ class TestBufferPool:
     def test_bad_page_size_rejected(self, data_file):
         with pytest.raises(StorageError):
             PagedFile(data_file, page_size=4)
+
+
+class TestInvalidateFileIndex:
+    """invalidate_file uses a per-file key index (O(pages of that file))."""
+
+    def test_only_target_file_dropped(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        a.write_bytes(b"A" * 8192)
+        b.write_bytes(b"B" * 8192)
+        pool = BufferPool(capacity_pages=16)
+        fa = PagedFile(a, pool=pool, page_size=1024)
+        fb = PagedFile(b, pool=pool, page_size=1024)
+        for i in range(4):
+            fa.read(i * 1024, 1)
+            fb.read(i * 1024, 1)
+        assert len(pool) == 8
+        fa.close()  # invalidates only a's pages
+        assert len(pool) == 4
+        assert fb.read(0, 1) == b"B"  # b's pages still resident
+        assert fb.stats.pages_hit >= 1
+        fb.close()
+        assert len(pool) == 0
+
+    def test_index_survives_eviction_churn(self, tmp_path):
+        """Evicted pages leave the per-file index consistent."""
+        path = tmp_path / "c.bin"
+        path.write_bytes(b"C" * 16384)
+        pool = BufferPool(capacity_pages=3)
+        f = PagedFile(path, pool=pool, page_size=1024)
+        for i in range(16):  # far more pages than capacity
+            f.read(i * 1024, 1)
+        assert len(pool) == 3
+        f.close()
+        assert len(pool) == 0
+        assert pool._by_file == {}
+
+    def test_invalidate_unknown_file_is_noop(self):
+        pool = BufferPool(capacity_pages=2)
+        pool.invalidate_file(12345)  # never seen: must not raise
+        assert len(pool) == 0
+
+
+class TestPrefetch:
+    def test_prefetch_makes_reads_pool_hits(self, data_file):
+        stats = IOStats()
+        with PagedFile(data_file, stats=stats, page_size=1024) as f:
+            fetched = f.prefetch(0, 3000)
+            assert fetched == 3
+            before = stats.snapshot()
+            f.read(0, 3000)
+            delta = stats.delta(before)
+        assert delta.pages_read == 0
+        assert delta.pages_hit == 3
+
+    def test_prefetch_accounting(self, data_file):
+        """One logical read, zero payload bytes, only missing pages fetched."""
+        stats = IOStats()
+        with PagedFile(data_file, stats=stats, page_size=1024) as f:
+            f.read(0, 100)  # page 0 resident
+            before = stats.snapshot()
+            f.prefetch(0, 2048)  # pages 0-1; only page 1 is missing
+            delta = stats.delta(before)
+            assert delta.read_calls == 1
+            assert delta.pages_read == 1
+            assert delta.bytes_read == 0
+
+    def test_prefetch_bounds_checked(self, data_file):
+        with PagedFile(data_file) as f:
+            with pytest.raises(StorageError, match="past end"):
+                f.prefetch(16 * 1024 - 2, 10)
+            with pytest.raises(StorageError):
+                f.prefetch(-1, 2)
+            assert f.prefetch(100, 0) == 0
+
+    def test_prefetch_bounded_by_pool_capacity(self, data_file):
+        """Read-ahead must not evict the caller's working set to cache a
+        range larger than the pool: at most half the capacity per call."""
+        pool = BufferPool(capacity_pages=8)
+        with PagedFile(data_file, pool=pool, page_size=1024) as f:
+            for page in range(3):  # working set: pages 0-2
+                f.read(page * 1024, 1)
+            fetched = f.prefetch(4096, 12 * 1024)  # 12-page range
+            assert fetched == 4  # capacity // 2
+            # Working set is still resident (no eviction happened).
+            before = f.stats.snapshot()
+            for page in range(3):
+                f.read(page * 1024, 1)
+            assert f.stats.delta(before).pages_read == 0
+
+    def test_prefetch_budget_caps_batch(self, data_file):
+        """An explicit budget tightens the per-call cap so a batch of
+        prefetches can share one allowance."""
+        pool = BufferPool(capacity_pages=8)
+        with PagedFile(data_file, pool=pool, page_size=1024) as f:
+            assert f.prefetch(0, 8 * 1024, budget=1) == 1
+            assert f.prefetch(0, 8 * 1024, budget=0) == 0
+            # budget never loosens the half-capacity cap
+            assert f.prefetch(0, 12 * 1024, budget=100) <= 4
