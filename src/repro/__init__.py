@@ -46,6 +46,7 @@ from repro.core import (
     RRIndex,
     RRIndexBuilder,
     SeedSelection,
+    ServerPool,
     ThetaPolicy,
     greedy_max_coverage,
     lazy_greedy_max_coverage,
@@ -101,6 +102,7 @@ __all__ = [
     "IRRIndexBuilder",
     "IRRIndex",
     "KBTIMServer",
+    "ServerPool",
     "DEFAULT_PARTITION_SIZE",
     "BuildReport",
     "KeywordMeta",

@@ -25,7 +25,7 @@ from repro.core.query import KBTIMQuery
 from repro.core.results import QueryStats, SeedSelection
 from repro.core.ris import ris_query
 from repro.core.rr_index import BuildReport, KeywordMeta, RRIndex, RRIndexBuilder
-from repro.core.server import KBTIMServer, ServerStats
+from repro.core.server import KBTIMServer, ServerPool, ServerStats
 from repro.core.sampler import (
     mean_rr_set_size,
     sample_rr_sets,
@@ -61,6 +61,7 @@ __all__ = [
     "RRIndexBuilder",
     "RRIndex",
     "KBTIMServer",
+    "ServerPool",
     "ServerStats",
     "verify_index",
     "extract_keywords",

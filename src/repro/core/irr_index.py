@@ -45,7 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.offline import KeywordTable
-from repro.core.query import KBTIMQuery
+from repro.core.query import KBTIMQuery, resolve_unique
 from repro.core.results import QueryStats, SeedSelection
 from repro.core.rr_index import (
     BuildReport,
@@ -442,7 +442,7 @@ class IRRIndex:
             )
         started = time.perf_counter()
         before = self.stats.snapshot()
-        keywords = [self._resolve(kw) for kw in query.keywords]
+        keywords = resolve_unique(query.keywords, self._resolve)
         _theta_q, counts, phi_q = plan_theta_q(keywords, self.catalog)
 
         states: Dict[str, _KeywordState] = {}

@@ -9,13 +9,64 @@ constructed without holding a reference to the dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple, Union
+from typing import Callable, List, Sequence, Tuple, Union
 
 from repro.errors import QueryError
 
-__all__ = ["KBTIMQuery"]
+__all__ = ["KBTIMQuery", "resolve_unique"]
 
 KeywordRef = Union[int, str]
+
+
+def resolve_unique(
+    keywords: Sequence[KeywordRef], resolve: Callable[[KeywordRef], str]
+) -> List[str]:
+    """Resolve keyword refs to names, rejecting post-resolution duplicates.
+
+    :class:`KBTIMQuery` already rejects literal duplicates, but a query
+    can still smuggle one keyword in twice under *mixed forms* — a topic
+    id next to the name it resolves to, e.g. ``(3, "music")`` where topic
+    3 *is* "music".  Executed naively, that double-loads the keyword's
+    block and double-counts its relevance mass ``φ_w`` in the θ^Q plan,
+    silently skewing both the answer and the I/O accounting.  Every query
+    entry point therefore canonicalises through this helper.
+
+    Parameters
+    ----------
+    keywords:
+        The query's keyword refs (names or topic ids), in query order.
+    resolve:
+        Ref-to-name resolver of the executing index (e.g.
+        ``RRIndex._resolve``); must raise for unknown refs.
+
+    Returns
+    -------
+    The resolved names, in query order.
+
+    Raises
+    ------
+    QueryError
+        If two refs resolve to the same indexed keyword.
+    Whatever ``resolve`` raises for an unknown ref (``IndexError_`` for
+    the index readers).
+    """
+    resolved: List[str] = []
+    seen = set()
+    for kw in keywords:
+        name = resolve(kw)
+        if name in seen:
+            detail = (
+                f"{kw!r} resolves to {name!r}"
+                if kw != name
+                else f"{name!r} occurs again once topic ids are resolved"
+            )
+            raise QueryError(
+                f"duplicate keyword after id resolution: {detail}; each "
+                "keyword may appear only once per query"
+            )
+        seen.add(name)
+        resolved.append(name)
+    return resolved
 
 
 @dataclass(frozen=True)

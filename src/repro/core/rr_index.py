@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -33,7 +34,7 @@ import numpy as np
 
 from repro.core.coverage import lazy_greedy_max_coverage, merge_coverage_csr
 from repro.core.offline import KeywordTable, sample_keyword_tables
-from repro.core.query import KBTIMQuery
+from repro.core.query import KBTIMQuery, resolve_unique
 from repro.core.results import QueryStats, SeedSelection
 from repro.core.theta import ThetaPolicy
 from repro.errors import CorruptIndexError, IndexError_, QueryError
@@ -437,9 +438,14 @@ class RRIndex:
         self.stats = stats if stats is not None else IOStats()
         self.prefix_cache_keywords = int(prefix_cache_keywords)
         # keyword -> (decoded set count, decoded block), LRU-bounded.
+        # Guarded by _cache_lock: the serving tier calls
+        # load_keyword_csr from multiple threads, and OrderedDict's
+        # compound LRU updates (insert + move_to_end + popitem) are not
+        # atomic.  Decode itself runs outside the lock.
         self._prefix_cache: "OrderedDict[str, Tuple[int, KeywordCoverageCSR]]" = (
             OrderedDict()
         )
+        self._cache_lock = threading.Lock()
         self._reader = SegmentReader(
             path, stats=self.stats, pool=pool, page_size=page_size
         )
@@ -527,6 +533,29 @@ class RRIndex:
         When the prefix cache is enabled, a cached decode covering at
         least ``count`` sets is clipped by slicing instead of re-read and
         re-decoded; a larger request re-decodes and replaces the entry.
+        Thread-safe: cache bookkeeping is locked, decode runs outside
+        the lock (two racing decodes of one keyword both succeed; the
+        larger prefix wins the cache slot).
+
+        Parameters
+        ----------
+        keyword:
+            An indexed keyword *name* (resolve ids via the catalog
+            first).
+        count:
+            Number of leading RR sets to make available (``θ^Q·p_w``).
+
+        Returns
+        -------
+        A :class:`KeywordCoverageCSR` exposing exactly ``count`` RR sets
+        plus the keyword's full inverted pairs.  Treat it as immutable:
+        its arrays may be shared with the cache and other callers.
+
+        Raises
+        ------
+        IndexError_
+            If ``keyword`` is not in the index or ``count`` exceeds its
+            stored ``n_sets``.
         """
         meta = self.catalog.get(keyword)
         if meta is None:
@@ -536,10 +565,13 @@ class RRIndex:
                 f"requested {count} RR sets but {keyword!r} stores {meta.n_sets}"
             )
         cache_cap = self.prefix_cache_keywords
-        entry = self._prefix_cache.get(keyword) if cache_cap > 0 else None
-        if entry is not None and entry[0] >= count:
-            self._prefix_cache.move_to_end(keyword)
-            return entry[1].clip_prefix(count)
+        entry = None
+        if cache_cap > 0:
+            with self._cache_lock:
+                entry = self._prefix_cache.get(keyword)
+                if entry is not None and entry[0] >= count:
+                    self._prefix_cache.move_to_end(keyword)
+                    return entry[1].clip_prefix(count)
         _n_sets, group_size, payload_len, payload_start, offsets = self._headers[
             keyword
         ]
@@ -560,10 +592,15 @@ class RRIndex:
                 set_ptr, set_vertices, keys, inv_ptr, inv_flat
             )
         if cache_cap > 0:
-            self._prefix_cache[keyword] = (count, block)
-            self._prefix_cache.move_to_end(keyword)
-            if len(self._prefix_cache) > cache_cap:
-                self._prefix_cache.popitem(last=False)
+            with self._cache_lock:
+                # A racing decode of the same keyword may have admitted a
+                # larger prefix already; never downgrade the cached entry.
+                resident = self._prefix_cache.get(keyword)
+                if resident is None or resident[0] < count:
+                    self._prefix_cache[keyword] = (count, block)
+                self._prefix_cache.move_to_end(keyword)
+                if len(self._prefix_cache) > cache_cap:
+                    self._prefix_cache.popitem(last=False)
         return block
 
     # ------------------------------------------------------------------
@@ -575,7 +612,7 @@ class RRIndex:
             )
         started = time.perf_counter()
         before = self.stats.snapshot()
-        keywords = [self._resolve(kw) for kw in query.keywords]
+        keywords = resolve_unique(query.keywords, self._resolve)
         _theta_q, counts, phi_q = plan_theta_q(keywords, self.catalog)
 
         # Merge per-keyword prefixes into one coverage instance with global
@@ -611,7 +648,8 @@ class RRIndex:
     # ------------------------------------------------------------------
     def evict_prefix_cache(self) -> None:
         """Drop every cached decoded prefix (for memory-pressure handling)."""
-        self._prefix_cache.clear()
+        with self._cache_lock:
+            self._prefix_cache.clear()
 
     def _resolve(self, keyword) -> str:
         """Accept topic names directly; ids resolve through the id map."""

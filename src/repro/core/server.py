@@ -7,30 +7,50 @@ naturally caches decoded per-keyword blocks — the RR sets and inverted
 lists of a keyword — across queries, on top of the page-level buffer
 pool.
 
-:class:`KBTIMServer` wraps an open :class:`~repro.core.rr_index.RRIndex`
-with an LRU keyword-block cache and executes Algorithm 2 against cached
-blocks.  Results are identical to :meth:`RRIndex.query` (asserted by the
-tests); only the cost profile changes: a warm keyword costs zero disk
-reads and zero decode work.
+Three tiers of concurrency are layered here:
+
+* :class:`KBTIMServer` wraps one open
+  :class:`~repro.core.rr_index.RRIndex` with an LRU keyword-block cache
+  and executes Algorithm 2 against cached blocks.  It is thread-safe:
+  hot-block reads are lock-free, and per-keyword load locks make
+  concurrent misses on one keyword decode exactly once.
+* :meth:`KBTIMServer.query_batch` amortises one *batch* of queries:
+  the union of requested keywords is loaded once, at the maximum
+  requested prefix, and every query in the batch is then served by pure
+  array slicing — bit-identical answers to sequential :meth:`query`
+  calls at a fraction of the load/decode work.
+* :class:`ServerPool` shards keywords across N servers over one index
+  file (hash dispatch on the query's primary keyword), so concurrent
+  traffic spreads over independent caches while sharing one buffer
+  pool.
+
+Results are identical to :meth:`RRIndex.query` in every mode (asserted
+by the tests); only the cost profile changes: a warm keyword costs zero
+disk reads and zero decode work.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import zlib
 from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, List, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.coverage import lazy_greedy_max_coverage, merge_coverage_csr
-from repro.core.query import KBTIMQuery
+from repro.core.query import KBTIMQuery, resolve_unique
 from repro.core.results import QueryStats, SeedSelection
 from repro.core.rr_index import KeywordCoverageCSR, RRIndex, plan_theta_q
 from repro.errors import QueryError
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
 from repro.utils.validation import check_positive_int
 
-__all__ = ["KBTIMServer", "ServerStats"]
+__all__ = ["KBTIMServer", "ServerPool", "ServerStats"]
 
 
 #: Default latency-sample retention.  A long-lived server must not grow
@@ -51,6 +71,11 @@ class ServerStats:
     counters distinguish query traffic (``keyword_hits`` /
     ``keyword_misses``) from administrative pre-warming (``warm_loads``),
     so :attr:`hit_ratio` reflects only what real queries experienced.
+
+    Counter updates go through the ``record_*`` methods, which take a
+    small internal lock — a server answers queries from many threads,
+    and a racing ``+=`` would silently drop counts.  Reading the plain
+    integer fields stays lock-free.
     """
 
     queries: int = 0
@@ -61,6 +86,9 @@ class ServerStats:
     latency_window: int = _LATENCY_WINDOW
     _latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
     )
 
     @property
@@ -76,7 +104,8 @@ class ServerStats:
         window = self.latency_window
         if window <= 0:
             return ()
-        samples = tuple(self._latencies)
+        with self._lock:
+            samples = tuple(self._latencies)
         return samples[-window:] if len(samples) > window else samples
 
     def record_latency(self, seconds: float) -> None:
@@ -85,14 +114,37 @@ class ServerStats:
         ``latency_window <= 0`` disables retention entirely; resizing the
         window at runtime keeps the newest samples.
         """
-        window = self.latency_window
-        if window <= 0:
-            self._latencies.clear()
-            return
-        if self._latencies.maxlen != window:
-            # Window resized at runtime: a bounded deque keeps the newest.
-            self._latencies = deque(self._latencies, maxlen=window)
-        self._latencies.append(seconds)
+        with self._lock:
+            window = self.latency_window
+            if window <= 0:
+                self._latencies.clear()
+                return
+            if self._latencies.maxlen != window:
+                # Window resized at runtime: a bounded deque keeps the newest.
+                self._latencies = deque(self._latencies, maxlen=window)
+            self._latencies.append(seconds)
+
+    def record_query(self, seconds: float) -> None:
+        """Account one answered query: count, total time, latency sample."""
+        with self._lock:
+            self.queries += 1
+            self.total_seconds += seconds
+            self.record_latency(seconds)
+
+    def record_keyword_hit(self) -> None:
+        """Count one query-traffic block-cache hit."""
+        with self._lock:
+            self.keyword_hits += 1
+
+    def record_keyword_miss(self) -> None:
+        """Count one query-traffic block-cache miss (a load happened)."""
+        with self._lock:
+            self.keyword_misses += 1
+
+    def record_warm_load(self) -> None:
+        """Count one administrative pre-warming load (never a miss)."""
+        with self._lock:
+            self.warm_loads += 1
 
     @property
     def hit_ratio(self) -> float:
@@ -112,6 +164,29 @@ class ServerStats:
             return 0.0
         return float(np.percentile(samples, q))
 
+    @classmethod
+    def merged(cls, parts: Sequence["ServerStats"]) -> "ServerStats":
+        """Aggregate several workers' stats into one pool-level view.
+
+        Counters and totals sum; the merged latency window is the union
+        of every worker's retained samples (its ``latency_window`` is
+        sized to hold them all), so pool-level percentiles reflect every
+        retained sample rather than one worker's.  The result is a
+        snapshot — it does not track the workers afterwards.
+        """
+        merged_window = max(1, sum(p.latency_window for p in parts)) if parts else 1
+        out = cls(latency_window=merged_window)
+        out._latencies = deque(maxlen=merged_window)
+        for part in parts:
+            with part._lock:
+                out.queries += part.queries
+                out.keyword_hits += part.keyword_hits
+                out.keyword_misses += part.keyword_misses
+                out.warm_loads += part.warm_loads
+                out.total_seconds += part.total_seconds
+                out._latencies.extend(part._latencies)
+        return out
+
 
 class _KeywordBlock:
     """Fully decoded per-keyword data, CSR-ified once at admission.
@@ -129,7 +204,7 @@ class _KeywordBlock:
 
 
 class KBTIMServer:
-    """Query server over one open RR index with keyword-block caching.
+    """Thread-safe query server over one open RR index with block caching.
 
     Parameters
     ----------
@@ -140,6 +215,11 @@ class KBTIMServer:
     cache_keywords:
         Maximum number of keyword blocks held in memory (LRU).
 
+    Raises
+    ------
+    ValueError
+        If ``cache_keywords`` is not a positive int.
+
     The server's block cache stacks on the index's own decoded-prefix
     cache: both store references to the *same* block objects (no array
     duplication), the index tier additionally serves direct
@@ -147,84 +227,312 @@ class KBTIMServer:
     :meth:`evict_all` clears both so memory-pressure eviction actually
     releases the blocks; open the index with ``prefix_cache_keywords=0``
     to run the server as the only caching tier.
+
+    **Thread safety.**  :meth:`query`, :meth:`query_batch`, :meth:`warm`
+    and :meth:`evict_all` may be called concurrently.  A cached (hot)
+    block is read without taking any lock; a miss takes a *per-keyword*
+    load lock, so concurrent misses on one keyword decode once while
+    loads of different keywords proceed in parallel.  Seed selections
+    are bit-identical to a single-threaded run (greedy coverage is
+    deterministic on identical blocks) and the ``stats`` counters are
+    exact; only per-query *I/O attribution* is best-effort under
+    concurrency — ``QueryStats.io`` windows may include a neighbour
+    thread's reads, though the totals across all queries stay exact.
     """
 
     def __init__(self, index: RRIndex, *, cache_keywords: int = 64) -> None:
         self.index = index
         self.cache_keywords = check_positive_int("cache_keywords", cache_keywords)
         self._blocks: "OrderedDict[str, _KeywordBlock]" = OrderedDict()
+        # _lock guards the block cache's LRU structure and the lock
+        # registry; _kw_locks serialises loads per keyword (bounded by
+        # the catalog: only validated keywords get an entry).
+        self._lock = threading.Lock()
+        self._kw_locks: Dict[str, threading.Lock] = {}
         self.stats = ServerStats()
 
     # ------------------------------------------------------------------
+    def _keyword_lock(self, keyword: str) -> threading.Lock:
+        with self._lock:
+            lock = self._kw_locks.get(keyword)
+            if lock is None:
+                lock = self._kw_locks[keyword] = threading.Lock()
+            return lock
+
+    def _touch(self, keyword: str) -> None:
+        """Refresh a key's LRU position (it may have been evicted)."""
+        with self._lock:
+            if keyword in self._blocks:
+                self._blocks.move_to_end(keyword)
+
+    def _admit(self, keyword: str, block: _KeywordBlock) -> None:
+        with self._lock:
+            if keyword not in self._blocks and len(self._blocks) >= self.cache_keywords:
+                self._blocks.popitem(last=False)
+            self._blocks[keyword] = block
+            self._blocks.move_to_end(keyword)
+
     def _block(self, keyword: str, *, warm: bool = False) -> _KeywordBlock:
+        """Return ``keyword``'s full decoded block, loading it on a miss.
+
+        Lock-free on the hot path: a resident block is returned after a
+        plain dict read (payloads are immutable).  On a miss the
+        per-keyword lock is taken, the cache is re-checked (a racing
+        thread may have finished the same load), and at most one thread
+        decodes.
+        """
         block = self._blocks.get(keyword)
         if block is not None:
-            self._blocks.move_to_end(keyword)
+            self._touch(keyword)
             if not warm:
-                self.stats.keyword_hits += 1
+                self.stats.record_keyword_hit()
             return block
         meta = self.index.catalog.get(keyword)
         if meta is None:
             # Validate before counting: a failed lookup was never served
             # traffic and must not inflate the cache counters.
             raise QueryError(f"keyword {keyword!r} is not in the index")
-        if warm:
-            # Pre-warming is administrative traffic: it must not count as
-            # a miss (that would skew hit_ratio for every deployment that
-            # warms its popular verticals before taking queries).
-            self.stats.warm_loads += 1
-        else:
-            self.stats.keyword_misses += 1
-        block = _KeywordBlock(self.index.load_keyword_csr(keyword, meta.n_sets))
-        if len(self._blocks) >= self.cache_keywords:
-            self._blocks.popitem(last=False)
-        self._blocks[keyword] = block
-        return block
+        with self._keyword_lock(keyword):
+            block = self._blocks.get(keyword)
+            if block is not None:
+                # Lost the race to another thread's load of this keyword:
+                # its decode serves us too — that is the point of the lock.
+                self._touch(keyword)
+                if not warm:
+                    self.stats.record_keyword_hit()
+                return block
+            if warm:
+                # Pre-warming is administrative traffic: it must not count
+                # as a miss (that would skew hit_ratio for every deployment
+                # that warms its popular verticals before taking queries).
+                self.stats.record_warm_load()
+            else:
+                self.stats.record_keyword_miss()
+            block = _KeywordBlock(self.index.load_keyword_csr(keyword, meta.n_sets))
+            self._admit(keyword, block)
+            return block
 
     # ------------------------------------------------------------------
-    def query(self, query: KBTIMQuery) -> SeedSelection:
-        """Answer ``query`` from cached blocks (Algorithm 2 semantics)."""
+    def _plan(self, query: KBTIMQuery):
+        """Shared validation + Eqn. 11 planning for one query.
+
+        Returns ``(keywords, counts, phi_q)``; raises exactly what a
+        direct :meth:`RRIndex.query` would (``QueryError`` for an
+        over-budget ``k`` or a post-resolution duplicate, ``IndexError_``
+        for an unknown keyword), so every execution mode shares one
+        error contract.
+        """
         if query.k > self.index.K:
             raise QueryError(
                 f"Q.k ({query.k}) exceeds the index's system parameter K "
                 f"({self.index.K})"
             )
-        started = time.perf_counter()
-        before = self.index.stats.snapshot()
-        keywords = [self.index._resolve(kw) for kw in query.keywords]
+        keywords = resolve_unique(query.keywords, self.index._resolve)
         _theta_q, counts, phi_q = plan_theta_q(keywords, self.index.catalog)
+        return keywords, counts, phi_q
 
+    def _select(self, keywords, counts, k: int, csr_of):
+        """Algorithm 2's answer assembly, shared by every execution mode.
+
+        Clips each keyword's block (fetched through ``csr_of``) to its
+        active prefix, merges, and runs lazy greedy.  Both :meth:`query`
+        and :meth:`query_batch` funnel through here — the
+        bit-identical-answers guarantee depends on there being exactly
+        one assembly path.  Returns ``(seeds, marginals, theta_used)``.
+        """
         parts = []
         base = 0
         for kw in keywords:
             count = counts[kw]
-            parts.append(self._block(kw).csr.active_part(count, base))
+            parts.append(csr_of(kw).active_part(count, base))
             base += count
         instance = merge_coverage_csr(self.index.n_vertices, parts)
-        seeds, marginals = lazy_greedy_max_coverage(instance, query.k)
+        seeds, marginals = lazy_greedy_max_coverage(instance, k)
+        return seeds, marginals, instance.n_sets
 
-        elapsed = time.perf_counter() - started
-        self.stats.queries += 1
-        self.stats.total_seconds += elapsed
-        self.stats.record_latency(elapsed)
-        theta_used = instance.n_sets
-        stats = QueryStats(
-            elapsed_seconds=elapsed,
-            rr_sets_considered=theta_used,
-            rr_sets_loaded=theta_used,
-            io=self.index.stats.delta(before),
-        )
+    @staticmethod
+    def _selection(
+        seeds, marginals, theta_used: int, phi_q: float, elapsed: float, io: IOStats
+    ) -> SeedSelection:
+        """Package one answered query (shared result assembly)."""
         return SeedSelection(
             seeds=tuple(seeds),
             marginal_coverages=tuple(marginals),
             theta=theta_used,
             phi_q=phi_q,
-            stats=stats,
+            stats=QueryStats(
+                elapsed_seconds=elapsed,
+                rr_sets_considered=theta_used,
+                rr_sets_loaded=theta_used,
+                io=io,
+            ),
+        )
+
+    def query(self, query: KBTIMQuery) -> SeedSelection:
+        """Answer one query from cached blocks (Algorithm 2 semantics).
+
+        Parameters
+        ----------
+        query:
+            The ``(Q.T, Q.k)`` pair to answer.
+
+        Returns
+        -------
+        The same :class:`~repro.core.results.SeedSelection` a direct
+        :meth:`RRIndex.query` would produce, with ``stats`` reflecting
+        this server's (usually much cheaper) cost profile.
+
+        Raises
+        ------
+        QueryError
+            If ``query.k`` exceeds the index's system parameter ``K``,
+            or two keyword refs resolve to the same indexed keyword.
+        IndexError_
+            If a keyword is not in the index.
+        """
+        started = time.perf_counter()
+        before = self.index.stats.snapshot()
+        keywords, counts, phi_q = self._plan(query)
+        seeds, marginals, theta_used = self._select(
+            keywords, counts, query.k, lambda kw: self._block(kw).csr
+        )
+        elapsed = time.perf_counter() - started
+        self.stats.record_query(elapsed)
+        return self._selection(
+            seeds,
+            marginals,
+            theta_used,
+            phi_q,
+            elapsed,
+            self.index.stats.delta(before),
         )
 
     # ------------------------------------------------------------------
-    def warm(self, keywords) -> None:
+    def query_batch(self, queries: Sequence[KBTIMQuery]) -> List[SeedSelection]:
+        """Answer a batch of queries with shared keyword loads.
+
+        The batch is planned up front (every query validated before any
+        I/O), then the *union* of requested keywords is loaded — each
+        keyword exactly once, at the maximum prefix any query in the
+        batch requests.  Every individual query is then served by pure
+        array slicing (:meth:`KeywordCoverageCSR.active_part`) off the
+        shared block, followed by its own merge + greedy pass.
+
+        Parameters
+        ----------
+        queries:
+            The batch, in arrival order.
+
+        Returns
+        -------
+        One :class:`~repro.core.results.SeedSelection` per query, in
+        input order — each bit-identical to what a sequential
+        :meth:`query` call would have produced.
+
+        Raises
+        ------
+        QueryError
+            On the first query with ``k`` over the index's ``K`` or a
+            duplicate keyword after resolution.
+        IndexError_
+            On the first unknown keyword.
+        Either way no query of the batch has been answered and no I/O
+        has been issued — the same exceptions, query by query, as
+        :meth:`query`.
+
+        **Accounting.**  Per-query ``QueryStats`` attribute the batch's
+        physical work without double counting: a shared keyword load's
+        I/O (and load time) is charged to the *first* query in the batch
+        that requested the keyword, so the per-query ``io`` deltas sum
+        to the batch's true total.  Cache counters mirror what a
+        sequential run against a large-enough cache would record: a
+        keyword resident before the batch counts a hit per use; a loaded
+        keyword counts one miss (on the charged query) and hits for
+        every later use in the batch.
+
+        Blocks loaded for a batch are *not* admitted to the server's
+        full-block cache (they may be partial prefixes); they are
+        retained by the index's decoded-prefix cache when that is
+        enabled, so consecutive batches still reuse the decode work.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        # Phase 1: validate + plan everything before touching the disk.
+        plans = [(query, *self._plan(query)) for query in queries]
+
+        # Phase 2: union of keywords -> one load each, at the max prefix.
+        max_counts: Dict[str, int] = {}
+        charge: Dict[str, int] = {}  # keyword -> position paying its load
+        for pos, (_query, keywords, counts, _phi) in enumerate(plans):
+            for kw in keywords:
+                if counts[kw] > max_counts.get(kw, 0):
+                    max_counts[kw] = counts[kw]
+                charge.setdefault(kw, pos)
+
+        blocks: Dict[str, KeywordCoverageCSR] = {}
+        load_io: Dict[str, IOStats] = {}
+        load_seconds: Dict[str, float] = {}
+        resident: set = set()
+        for kw in sorted(max_counts):
+            cached = self._blocks.get(kw)
+            if cached is not None:
+                self._touch(kw)
+                blocks[kw] = cached.csr
+                resident.add(kw)
+                continue
+            with self._keyword_lock(kw):
+                cached = self._blocks.get(kw)
+                if cached is not None:
+                    self._touch(kw)
+                    blocks[kw] = cached.csr
+                    resident.add(kw)
+                    continue
+                before = self.index.stats.snapshot()
+                load_started = time.perf_counter()
+                blocks[kw] = self.index.load_keyword_csr(kw, max_counts[kw])
+                load_seconds[kw] = time.perf_counter() - load_started
+                load_io[kw] = self.index.stats.delta(before)
+
+        # Phase 3: per-query slicing + merge + greedy, with attribution.
+        results: List[SeedSelection] = []
+        for pos, (query, keywords, counts, phi_q) in enumerate(plans):
+            started = time.perf_counter()
+            for kw in keywords:
+                if kw in resident or charge[kw] != pos:
+                    self.stats.record_keyword_hit()
+                else:
+                    self.stats.record_keyword_miss()
+            seeds, marginals, theta_used = self._select(
+                keywords, counts, query.k, blocks.__getitem__
+            )
+            elapsed = time.perf_counter() - started
+            io = IOStats()
+            for kw in keywords:
+                if charge[kw] == pos and kw in load_io:
+                    io.add(load_io[kw])
+                    elapsed += load_seconds[kw]
+            self.stats.record_query(elapsed)
+            results.append(
+                self._selection(seeds, marginals, theta_used, phi_q, elapsed, io)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def warm(self, keywords: Iterable) -> None:
         """Pre-load keyword blocks (e.g. the most popular verticals).
+
+        Parameters
+        ----------
+        keywords:
+            Topic names or ids to load.
+
+        Raises
+        ------
+        QueryError
+            If a keyword name is not in the index (counters untouched).
+        IndexError_
+            If a topic id is unknown.
 
         Loads are counted under ``stats.warm_loads``, never as cache
         misses, so pre-warming does not skew ``stats.hit_ratio``.
@@ -239,7 +547,8 @@ class KBTIMServer:
         references to the same blocks — otherwise eviction would free
         nothing and the next query would silently skip re-reading.
         """
-        self._blocks.clear()
+        with self._lock:
+            self._blocks.clear()
         self.index.evict_prefix_cache()
 
     @property
@@ -252,3 +561,191 @@ class KBTIMServer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.index.close()
+
+
+class ServerPool:
+    """A pool of :class:`KBTIMServer` workers sharding one RR index.
+
+    The pool opens ``n_workers`` independent readers over one index file
+    — each with its own file handle, I/O counters and block cache, all
+    sharing one page-level :class:`~repro.storage.pager.BufferPool` — and
+    dispatches each query to the worker owning the query's *primary
+    keyword* (its lexicographically smallest resolved keyword), via a
+    process-independent hash.  Keyword skew thus turns into cache
+    locality: all traffic for a hot vertical lands on one worker, whose
+    block cache serves it without cross-worker invalidation, while other
+    workers stay free for the rest of the keyword space.
+
+    Parameters
+    ----------
+    path:
+        The RR index file every worker opens.
+    n_workers:
+        Number of shards/servers (>= 1).
+    cache_keywords:
+        Per-worker block-cache capacity (LRU).
+    pool_pages:
+        Capacity of the shared page buffer pool.
+    page_size:
+        Page fault granularity in bytes.
+    prefix_cache_keywords:
+        Per-worker decoded-prefix-cache capacity; ``None`` keeps the
+        reader default, ``0`` disables that tier.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive ``n_workers`` or ``cache_keywords``.
+    CorruptIndexError
+        If ``path`` is not a readable RR index.
+
+    Thread safety mirrors :class:`KBTIMServer`: any number of threads
+    may call :meth:`query` / :meth:`query_batch` concurrently.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        n_workers: int = 4,
+        cache_keywords: int = 64,
+        pool_pages: int = 4096,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        prefix_cache_keywords: Optional[int] = None,
+    ) -> None:
+        self.n_workers = check_positive_int("n_workers", n_workers)
+        self.buffer_pool = BufferPool(pool_pages)
+        index_kwargs = dict(pool=self.buffer_pool, page_size=page_size)
+        if prefix_cache_keywords is not None:
+            index_kwargs["prefix_cache_keywords"] = prefix_cache_keywords
+        workers: List[KBTIMServer] = []
+        try:
+            for _ in range(self.n_workers):
+                workers.append(
+                    KBTIMServer(
+                        RRIndex(path, **index_kwargs),
+                        cache_keywords=cache_keywords,
+                    )
+                )
+        except BaseException:
+            for worker in workers:
+                worker.index.close()
+            raise
+        self.workers: Tuple[KBTIMServer, ...] = tuple(workers)
+
+    # ------------------------------------------------------------------
+    def _shard_of_name(self, name: str) -> int:
+        """The worker owning one resolved keyword name.
+
+        ``zlib.crc32`` (not the salted builtin ``hash``) keeps the
+        mapping deterministic across processes.  :meth:`shard_of` and
+        :meth:`warm` both route through here, so pre-warmed keywords are
+        guaranteed to land where their traffic will.
+        """
+        return zlib.crc32(name.encode("utf-8")) % self.n_workers
+
+    def shard_of(self, query: KBTIMQuery) -> int:
+        """The worker index this query dispatches to.
+
+        Dispatch hashes the query's *primary* keyword — the
+        lexicographically smallest resolved name — so all queries
+        anchored on one keyword share one worker's cache.  Resolution
+        only: full validation (duplicates, budget) stays with the
+        serving worker, so it runs once per query.
+
+        Raises
+        ------
+        IndexError_
+            If a keyword ref is not in the index.
+        """
+        resolver = self.workers[0].index._resolve
+        return self._shard_of_name(min(resolver(kw) for kw in query.keywords))
+
+    def query(self, query: KBTIMQuery) -> SeedSelection:
+        """Answer one query on its shard's worker (Algorithm 2 semantics).
+
+        Same parameters, return value and exceptions as
+        :meth:`KBTIMServer.query`.
+        """
+        return self.workers[self.shard_of(query)].query(query)
+
+    def query_batch(
+        self, queries: Sequence[KBTIMQuery], *, concurrent: bool = True
+    ) -> List[SeedSelection]:
+        """Answer a batch, sharded and (optionally) in parallel.
+
+        The batch is split by shard, each shard's sub-batch runs through
+        its worker's :meth:`KBTIMServer.query_batch` (one shared load per
+        keyword), and results return in input order.  With
+        ``concurrent=True`` the sub-batches execute on one thread per
+        populated shard.
+
+        Raises
+        ------
+        QueryError
+            If any query is invalid.  Validation happens during each
+            sub-batch's planning phase, before that shard touches disk;
+            other shards' sub-batches may still have been answered.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        by_shard: Dict[int, List[int]] = {}
+        for pos, query in enumerate(queries):
+            by_shard.setdefault(self.shard_of(query), []).append(pos)
+        results: List[Optional[SeedSelection]] = [None] * len(queries)
+
+        def run_shard(shard: int, positions: List[int]) -> None:
+            answers = self.workers[shard].query_batch(
+                [queries[pos] for pos in positions]
+            )
+            for pos, answer in zip(positions, answers):
+                results[pos] = answer
+
+        if concurrent and len(by_shard) > 1:
+            with ThreadPoolExecutor(max_workers=len(by_shard)) as executor:
+                futures = [
+                    executor.submit(run_shard, shard, positions)
+                    for shard, positions in by_shard.items()
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            for shard, positions in by_shard.items():
+                run_shard(shard, positions)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def warm(self, keywords: Iterable) -> None:
+        """Pre-load each keyword on the worker that owns it.
+
+        A keyword is warmed where single-keyword (and primary-keyword)
+        traffic for it will land, so the pre-load actually fronts the
+        queries that follow.  Counted under each worker's ``warm_loads``.
+        """
+        resolver = self.workers[0].index._resolve
+        for kw in keywords:
+            name = resolver(kw)
+            self.workers[self._shard_of_name(name)].warm([name])
+
+    def evict_all(self) -> None:
+        """Drop every worker's cached blocks and decoded prefixes."""
+        for worker in self.workers:
+            worker.evict_all()
+
+    @property
+    def stats(self) -> ServerStats:
+        """Pool-level aggregated stats (a snapshot; see per-worker
+        ``workers[i].stats`` for shard detail)."""
+        return ServerStats.merged([worker.stats for worker in self.workers])
+
+    def close(self) -> None:
+        """Close every worker's index reader (the pool owns them)."""
+        for worker in self.workers:
+            worker.index.close()
+
+    def __enter__(self) -> "ServerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

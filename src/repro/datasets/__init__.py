@@ -8,7 +8,14 @@ from repro.datasets.synthetic import (
     news_dataset,
     twitter_dataset,
 )
-from repro.datasets.workload import QueryWorkload, make_workload
+from repro.datasets.workload import (
+    QueryWorkload,
+    ReplayReport,
+    make_mixed_workload,
+    make_workload,
+    poisson_arrivals,
+    replay,
+)
 
 __all__ = [
     "Dataset",
@@ -17,7 +24,11 @@ __all__ = [
     "NEWS_SIZES",
     "TWITTER_SIZES",
     "QueryWorkload",
+    "ReplayReport",
     "make_workload",
+    "make_mixed_workload",
+    "poisson_arrivals",
+    "replay",
     "paper_example_graph",
     "paper_example_profiles",
 ]

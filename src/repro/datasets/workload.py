@@ -1,4 +1,4 @@
-"""Keyword query workloads.
+"""Keyword query workloads and the serving-tier replay driver.
 
 The paper draws real queries from the AOL log, keeps those whose terms map
 into the 200-topic space, and extracts 100 queries per length 1..6.
@@ -7,10 +7,26 @@ marginal the experiments exercise: queries mention popular topics more
 often, lengths range 1..6, and every query resolves against the dataset's
 topic space (queries over topics nobody cares about are filtered, like the
 paper's topic-keyword filter).
+
+Two generators cover the two experiment regimes:
+
+* :func:`make_workload` — the paper's figure sweeps: one fixed length and
+  seed budget per batch;
+* :func:`make_mixed_workload` — the serving-tier regime: Zipf keyword
+  skew across *mixed* query lengths and ``k`` values, the traffic shape
+  a deployed ad platform actually sees.
+
+:func:`replay` then drives any query server over such a workload —
+closed-loop (each worker fires its next query the moment the previous
+answer returns) or open-loop against an arrival schedule such as
+:func:`poisson_arrivals` — and reports per-query latencies and
+throughput (:class:`ReplayReport`).
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -23,7 +39,14 @@ from repro.profiles.store import ProfileStore
 from repro.utils.rng import RngLike, as_rng
 from repro.utils.validation import check_positive_int
 
-__all__ = ["QueryWorkload", "make_workload"]
+__all__ = [
+    "QueryWorkload",
+    "ReplayReport",
+    "make_workload",
+    "make_mixed_workload",
+    "poisson_arrivals",
+    "replay",
+]
 
 
 @dataclass(frozen=True)
@@ -79,3 +102,249 @@ def make_workload(
         names = tuple(topics.name(int(t)) for t in chosen)
         queries.append(KBTIMQuery(names, k))
     return QueryWorkload(length=length, k=k, queries=tuple(queries))
+
+
+def make_mixed_workload(
+    profiles: ProfileStore,
+    *,
+    n_queries: int,
+    lengths: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    ks: Sequence[int] = (10, 25, 50),
+    zipf_exponent: float = 1.0,
+    rng: RngLike = None,
+) -> Tuple[KBTIMQuery, ...]:
+    """Generate a serving-tier query stream with mixed lengths and budgets.
+
+    Each query draws its length uniformly from ``lengths`` and its seed
+    budget uniformly from ``ks``; keywords are drawn without replacement
+    with Zipf(``zipf_exponent``) popularity skew over usable topics
+    (``df > 0``), exactly as :func:`make_workload` does per length.  This
+    is the traffic shape the serving benchmarks replay: heavy keyword
+    reuse across queries of *different* shapes, so batch/cache tiers must
+    serve one decoded block at many prefixes.
+
+    Parameters
+    ----------
+    profiles:
+        The dataset's user-profile store (supplies the topic space).
+    n_queries:
+        Stream length.
+    lengths:
+        Candidate ``|Q.T|`` values (paper sweeps 1..6).
+    ks:
+        Candidate seed budgets ``Q.k``.
+    zipf_exponent:
+        Keyword popularity skew (0 = uniform).
+    rng:
+        Seed or generator for reproducible streams.
+
+    Returns
+    -------
+    The queries, in arrival order.
+
+    Raises
+    ------
+    QueryError
+        If ``lengths`` or ``ks`` is empty, or the topic space has fewer
+        usable topics than ``max(lengths)``.
+    ValueError
+        If ``n_queries`` or any entry of ``lengths``/``ks`` is not a
+        positive int (``TypeError`` for non-ints), matching
+        :func:`make_workload`'s argument validation.
+    """
+    n_queries = check_positive_int("n_queries", n_queries)
+    if not lengths or not ks:
+        raise QueryError("lengths and ks must be non-empty")
+    lengths = tuple(check_positive_int("length", length) for length in lengths)
+    ks = tuple(check_positive_int("k", k) for k in ks)
+    gen = as_rng(rng)
+
+    topics = profiles.topics
+    usable = [t for t in range(topics.size) if profiles.df(t) > 0]
+    if len(usable) < max(lengths):
+        raise QueryError(
+            f"workload needs {max(lengths)} usable topics but only "
+            f"{len(usable)} have any relevant user"
+        )
+    weights = zipf_weights(topics.size, zipf_exponent)[usable]
+    weights = weights / weights.sum()
+    usable_arr = np.asarray(usable, dtype=np.int64)
+
+    queries: List[KBTIMQuery] = []
+    for _ in range(n_queries):
+        length = int(gen.choice(len(lengths)))
+        k = int(gen.choice(len(ks)))
+        chosen = gen.choice(
+            usable_arr, size=lengths[length], replace=False, p=weights
+        )
+        names = tuple(topics.name(int(t)) for t in chosen)
+        queries.append(KBTIMQuery(names, ks[k]))
+    return tuple(queries)
+
+
+def poisson_arrivals(
+    n_queries: int, rate_qps: float, rng: RngLike = None
+) -> np.ndarray:
+    """Open-loop Poisson arrival offsets for ``n_queries`` queries.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_qps``; the
+    returned array holds cumulative offsets in seconds from replay start
+    (non-decreasing, length ``n_queries``).  Feed it to :func:`replay`'s
+    ``arrivals`` to model clients that fire on their own clock regardless
+    of how fast the server answers — the regime where queueing delay
+    shows up in the latency percentiles.
+
+    Raises
+    ------
+    QueryError
+        On a non-positive ``rate_qps``.
+    """
+    n_queries = check_positive_int("n_queries", n_queries)
+    if not rate_qps > 0:
+        raise QueryError(f"rate_qps must be > 0, got {rate_qps}")
+    gen = as_rng(rng)
+    gaps = gen.exponential(1.0 / rate_qps, size=n_queries)
+    return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What one :func:`replay` run measured.
+
+    Attributes
+    ----------
+    results:
+        Per-query :class:`~repro.core.results.SeedSelection`, in
+        workload order (independent of completion order).
+    latencies:
+        Per-query latency in seconds, in workload order.  Closed loop:
+        time from issue to answer.  Open loop: time from the query's
+        *scheduled arrival* to its answer, so queueing delay behind a
+        saturated server is included.
+    elapsed_seconds:
+        Wall-clock duration of the whole replay.
+    threads:
+        Concurrency the replay ran at.
+    """
+
+    results: Tuple
+    latencies: Tuple[float, ...]
+    elapsed_seconds: float
+    threads: int
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries replayed."""
+        return len(self.latencies)
+
+    @property
+    def qps(self) -> float:
+        """Achieved throughput in queries per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.n_queries / self.elapsed_seconds
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-query latency in seconds."""
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def percentile_latency(self, q: float) -> float:
+        """Latency percentile (e.g. ``q=99``) over all replayed queries."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+
+def replay(
+    server,
+    queries: Sequence[KBTIMQuery],
+    *,
+    threads: int = 1,
+    arrivals: Optional[Sequence[float]] = None,
+) -> ReplayReport:
+    """Drive a query server over a workload and measure latency/QPS.
+
+    Parameters
+    ----------
+    server:
+        Anything with a ``query(KBTIMQuery) -> SeedSelection`` method —
+        a :class:`~repro.core.server.KBTIMServer`, a
+        :class:`~repro.core.server.ServerPool`, or a bare index reader.
+        With ``threads > 1`` it must tolerate concurrent calls (the
+        server tier does; a bare reader's per-query I/O attribution
+        becomes best-effort).
+    queries:
+        The workload, in arrival order.
+    threads:
+        Closed-loop concurrency: each of ``threads`` workers issues its
+        next query as soon as its previous one completes.
+    arrivals:
+        Optional open-loop schedule: non-decreasing offsets in seconds
+        from replay start, one per query (see :func:`poisson_arrivals`).
+        Queries are issued no earlier than their offset; with all
+        ``threads`` workers busy a due query queues, and that delay is
+        charged to its latency.
+
+    Returns
+    -------
+    A :class:`ReplayReport` with results, per-query latencies, and
+    throughput.
+
+    Raises
+    ------
+    QueryError
+        If ``arrivals`` is given with the wrong length or decreasing
+        offsets.
+    ValueError
+        On a non-positive ``threads``.
+    """
+    threads = check_positive_int("threads", threads)
+    queries = list(queries)
+    if arrivals is not None:
+        arrivals = np.asarray(arrivals, dtype=np.float64)
+        if len(arrivals) != len(queries):
+            raise QueryError(
+                f"arrival schedule has {len(arrivals)} offsets for "
+                f"{len(queries)} queries"
+            )
+        if len(arrivals) and np.any(np.diff(arrivals) < 0):
+            raise QueryError("arrival offsets must be non-decreasing")
+    if not queries:
+        return ReplayReport(
+            results=(), latencies=(), elapsed_seconds=0.0, threads=threads
+        )
+
+    results: List = [None] * len(queries)
+    latencies = [0.0] * len(queries)
+    started = time.perf_counter()
+
+    def run_one(pos: int) -> None:
+        if arrivals is not None:
+            due = started + float(arrivals[pos])
+            delay = due - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            issued = due  # open loop: charge queueing delay to latency
+        else:
+            issued = time.perf_counter()
+        results[pos] = server.query(queries[pos])
+        latencies[pos] = time.perf_counter() - issued
+
+    if threads == 1:
+        for pos in range(len(queries)):
+            run_one(pos)
+    else:
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            futures = [
+                executor.submit(run_one, pos) for pos in range(len(queries))
+            ]
+            for future in futures:
+                future.result()
+    elapsed = time.perf_counter() - started
+    return ReplayReport(
+        results=tuple(results),
+        latencies=tuple(latencies),
+        elapsed_seconds=elapsed,
+        threads=threads,
+    )

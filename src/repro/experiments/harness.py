@@ -260,6 +260,29 @@ class ExperimentContext:
             self.index_path(dataset, kind="rr", **kwargs), **reader_kwargs
         )
 
+    def open_server_pool(
+        self,
+        dataset: Dataset,
+        *,
+        n_workers: int = 4,
+        **pool_kwargs,
+    ) -> "ServerPool":
+        """Build-if-needed and open a sharded serving pool over the RR index.
+
+        The serving-tier benchmarks (thread sweeps, replay runs) go
+        through here so they share the memoised index build with every
+        other experiment.  ``pool_kwargs`` pass through to
+        :class:`~repro.core.server.ServerPool`.
+        """
+        from repro.core.server import ServerPool
+
+        self.build_index(dataset, kind="rr")
+        return ServerPool(
+            self.index_path(dataset, kind="rr"),
+            n_workers=n_workers,
+            **pool_kwargs,
+        )
+
     def open_irr(
         self,
         dataset: Dataset,

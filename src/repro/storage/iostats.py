@@ -14,10 +14,18 @@ counts
 The counter is plain mutable state by design: it is threaded explicitly
 through readers (no globals), and :meth:`IOStats.snapshot` /
 :meth:`IOStats.delta` give before/after accounting around a query.
+
+The serving tier issues reads from multiple threads against one shared
+counter, so the mutating methods take a small internal lock: a counter
+update is a handful of integer additions, and losing one to a racing
+``+=`` would silently corrupt the Table 6 numbers.  Reading individual
+attributes stays lock-free (plain ints); :meth:`snapshot` locks so the
+copy is a consistent cut.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["IOStats"]
@@ -33,29 +41,54 @@ class IOStats:
     bytes_read: int = 0
     write_calls: int = 0
     bytes_written: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_read(self, *, pages_read: int, pages_hit: int, nbytes: int) -> None:
         """Account one logical read of ``nbytes`` touching pages."""
-        self.read_calls += 1
-        self.pages_read += pages_read
-        self.pages_hit += pages_hit
-        self.bytes_read += nbytes
+        with self._lock:
+            self.read_calls += 1
+            self.pages_read += pages_read
+            self.pages_hit += pages_hit
+            self.bytes_read += nbytes
 
     def record_write(self, nbytes: int) -> None:
         """Account one write of ``nbytes``."""
-        self.write_calls += 1
-        self.bytes_written += nbytes
+        with self._lock:
+            self.write_calls += 1
+            self.bytes_written += nbytes
 
     def snapshot(self) -> "IOStats":
-        """An immutable-by-convention copy of the current counters."""
-        return IOStats(
-            read_calls=self.read_calls,
-            pages_read=self.pages_read,
-            pages_hit=self.pages_hit,
-            bytes_read=self.bytes_read,
-            write_calls=self.write_calls,
-            bytes_written=self.bytes_written,
-        )
+        """An immutable-by-convention copy of the current counters.
+
+        Taken under the counter lock, so concurrent readers get a
+        consistent cut even while other threads are recording I/O.
+        """
+        with self._lock:
+            return IOStats(
+                read_calls=self.read_calls,
+                pages_read=self.pages_read,
+                pages_hit=self.pages_hit,
+                bytes_read=self.bytes_read,
+                write_calls=self.write_calls,
+                bytes_written=self.bytes_written,
+            )
+
+    def add(self, other: "IOStats") -> None:
+        """Accumulate another counter's totals into this one.
+
+        Used by batch attribution (charging a shared keyword load's I/O
+        to one query's :class:`~repro.core.results.QueryStats`) and by
+        pool-level stat aggregation.
+        """
+        with self._lock:
+            self.read_calls += other.read_calls
+            self.pages_read += other.pages_read
+            self.pages_hit += other.pages_hit
+            self.bytes_read += other.bytes_read
+            self.write_calls += other.write_calls
+            self.bytes_written += other.bytes_written
 
     def delta(self, since: "IOStats") -> "IOStats":
         """Counters accumulated since a :meth:`snapshot`."""

@@ -8,11 +8,17 @@ I/O claims become measurements:
 * a :class:`BufferPool` caches pages with LRU eviction, shared across the
   files of one index so repeated partition touches hit memory;
 * every logical read is accounted on an :class:`~repro.storage.IOStats`.
+
+Both classes are thread-safe: the serving tier reads from multiple
+threads, so physical reads are positioned (``os.pread`` where available —
+no shared seek cursor to race on) and the pool's LRU bookkeeping happens
+under a small internal lock.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Set, Tuple, Union
 
@@ -25,14 +31,26 @@ PathLike = Union[str, os.PathLike]
 
 DEFAULT_PAGE_SIZE = 4096
 
+#: Guards the process-wide file-id counter (ids must stay unique even
+#: when server pools open many readers concurrently).
+_ID_LOCK = threading.Lock()
+
 
 class BufferPool:
-    """Fixed-capacity LRU page cache keyed by ``(file_id, page_number)``."""
+    """Fixed-capacity LRU page cache keyed by ``(file_id, page_number)``.
+
+    Thread-safe: one pool is shared by every reader of an index — and,
+    under :class:`~repro.core.server.ServerPool`, by several server
+    workers — so the LRU order, the page map, and the per-file index
+    mutate under one internal lock.  Page payloads are immutable
+    ``bytes``, so a returned page never needs the lock again.
+    """
 
     def __init__(self, capacity_pages: int = 1024) -> None:
         if capacity_pages < 1:
             raise StorageError(f"capacity_pages must be >= 1, got {capacity_pages}")
         self.capacity_pages = capacity_pages
+        self._lock = threading.Lock()
         self._pages: "OrderedDict[Tuple[int, int], bytes]" = OrderedDict()
         # Per-file page-number index so invalidate_file is O(pages of
         # that file) instead of a scan of the whole pool on every close.
@@ -40,30 +58,33 @@ class BufferPool:
 
     def get(self, key: Tuple[int, int]) -> Optional[bytes]:
         """Return the cached page and mark it most-recently used."""
-        page = self._pages.get(key)
-        if page is not None:
-            self._pages.move_to_end(key)
-        return page
+        with self._lock:
+            page = self._pages.get(key)
+            if page is not None:
+                self._pages.move_to_end(key)
+            return page
 
     def put(self, key: Tuple[int, int], page: bytes) -> None:
         """Insert a page, evicting the least-recently-used one if full."""
-        if key in self._pages:
-            self._pages.move_to_end(key)
+        with self._lock:
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                self._pages[key] = page
+                return
+            if len(self._pages) >= self.capacity_pages:
+                evicted, _ = self._pages.popitem(last=False)
+                file_pages = self._by_file[evicted[0]]
+                file_pages.discard(evicted[1])
+                if not file_pages:
+                    del self._by_file[evicted[0]]
             self._pages[key] = page
-            return
-        if len(self._pages) >= self.capacity_pages:
-            evicted, _ = self._pages.popitem(last=False)
-            file_pages = self._by_file[evicted[0]]
-            file_pages.discard(evicted[1])
-            if not file_pages:
-                del self._by_file[evicted[0]]
-        self._pages[key] = page
-        self._by_file.setdefault(key[0], set()).add(key[1])
+            self._by_file.setdefault(key[0], set()).add(key[1])
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all pages of one file (called when a file is rewritten)."""
-        for page_no in self._by_file.pop(file_id, ()):
-            del self._pages[(file_id, page_no)]
+        with self._lock:
+            for page_no in self._by_file.pop(file_id, ()):
+                del self._pages[(file_id, page_no)]
 
     def __contains__(self, key: Tuple[int, int]) -> bool:
         """Residency check that does not disturb the LRU order."""
@@ -108,8 +129,23 @@ class PagedFile:
         self.pool = pool if pool is not None else BufferPool(64)
         self._fh = open(self.path, "rb")
         self.size = os.fstat(self._fh.fileno()).st_size
-        self._file_id = PagedFile._next_file_id
-        PagedFile._next_file_id += 1
+        # Positioned reads (os.pread) carry no shared seek cursor, so
+        # concurrent readers need no I/O lock; the seek+read fallback
+        # (platforms without pread) serialises on one.
+        self._use_pread = hasattr(os, "pread")
+        self._io_lock = threading.Lock()
+        with _ID_LOCK:
+            self._file_id = PagedFile._next_file_id
+            PagedFile._next_file_id += 1
+
+    # ------------------------------------------------------------------
+    def _read_page(self, page_no: int) -> bytes:
+        """Physically fetch one page, thread-safely."""
+        if self._use_pread:
+            return os.pread(self._fh.fileno(), self.page_size, page_no * self.page_size)
+        with self._io_lock:
+            self._fh.seek(page_no * self.page_size)
+            return self._fh.read(self.page_size)
 
     # ------------------------------------------------------------------
     def read(self, offset: int, length: int) -> bytes:
@@ -134,8 +170,7 @@ class PagedFile:
             key = (self._file_id, page_no)
             page = self.pool.get(key)
             if page is None:
-                self._fh.seek(page_no * self.page_size)
-                page = self._fh.read(self.page_size)
+                page = self._read_page(page_no)
                 self.pool.put(key, page)
                 pages_read += 1
             else:
@@ -185,8 +220,7 @@ class PagedFile:
                 continue
             if pages_read >= cap:
                 break
-            self._fh.seek(page_no * self.page_size)
-            self.pool.put(key, self._fh.read(self.page_size))
+            self.pool.put(key, self._read_page(page_no))
             pages_read += 1
         self.stats.record_read(pages_read=pages_read, pages_hit=0, nbytes=0)
         return pages_read

@@ -118,13 +118,33 @@ def decode_varints_block(
 ) -> Tuple[np.ndarray, int]:
     """Vectorised drop-in for :func:`decode_varints`.
 
-    Decodes exactly ``count`` back-to-back varints starting at ``offset``
-    and returns ``(values, next_offset)`` with ``values`` a ``uint64``
-    array, bit-identical to the scalar walk (fuzz-tested, including the
-    truncation and 64-bit-overflow error cases).  One pass finds the
-    terminator bytes (high bit clear) with ``flatnonzero``; values are
-    then rebuilt group-by-byte-length with a gather + shift-and-or matmul,
-    so the per-varint Python cost is gone entirely.
+    One pass finds the terminator bytes (high bit clear) with
+    ``flatnonzero``; values are then rebuilt group-by-byte-length with a
+    gather + shift-and-or matmul, so the per-varint Python cost is gone
+    entirely.  Runs shorter than the scalar/vector crossover (~110
+    varints) are delegated to the scalar walk.
+
+    Parameters
+    ----------
+    data:
+        Buffer holding ``count`` back-to-back LEB128 varints (possibly
+        followed by unrelated bytes, which are never touched).
+    count:
+        Exact number of varints to decode (>= 0).
+    offset:
+        Byte position of the first varint within ``data``.
+
+    Returns
+    -------
+    ``(values, next_offset)`` — ``values`` a ``uint64`` array of length
+    ``count``, bit-identical to the scalar walk (fuzz-tested), and
+    ``next_offset`` the position one past the last consumed byte.
+
+    Raises
+    ------
+    StorageError
+        On a negative ``count``, a buffer that truncates mid-stream, or
+        a varint exceeding 64 bits (a corrupt 10th byte).
     """
     if count < 0:
         raise StorageError(f"count must be >= 0, got {count}")

@@ -165,6 +165,15 @@ class TestQuery:
             with pytest.raises(IndexError_):
                 index.query(KBTIMQuery(["nope"], 2))
 
+    def test_mixed_form_duplicate_keyword_rejected(self, indexes):
+        """Same canonicalisation as the RR reader: an id plus the name it
+        resolves to must not double-count the keyword."""
+        _rr, irr_path = indexes
+        with IRRIndex(irr_path) as index:
+            music_id = index.catalog["music"].topic_id
+            with pytest.raises(QueryError, match="duplicate keyword"):
+                index.query(KBTIMQuery([music_id, "music"], 3))
+
 
 class TestTheorem3:
     """Algorithm 4's impact scores equal Algorithm 2's (Theorem 3)."""

@@ -2,8 +2,33 @@
 
 import pytest
 
-from repro.core.query import KBTIMQuery
+from repro.core.query import KBTIMQuery, resolve_unique
 from repro.errors import QueryError
+
+
+class TestResolveUnique:
+    """Mixed-form duplicates (id + the name it resolves to) must not slip
+    past validation into a double-load / double-counted θ^Q plan."""
+
+    RESOLVER = staticmethod(lambda kw: {0: "music", 1: "book"}.get(kw, kw))
+
+    def test_plain_names_pass_through(self):
+        assert resolve_unique(("music", "book"), self.RESOLVER) == [
+            "music",
+            "book",
+        ]
+
+    def test_ids_resolve_in_order(self):
+        assert resolve_unique((1, "music"), self.RESOLVER) == ["book", "music"]
+
+    def test_mixed_form_duplicate_rejected(self):
+        with pytest.raises(QueryError, match="duplicate keyword"):
+            resolve_unique((0, "music"), self.RESOLVER)
+
+    def test_two_ids_same_name_rejected(self):
+        resolver = lambda kw: "music"  # noqa: E731 - every ref is "music"
+        with pytest.raises(QueryError, match="duplicate keyword"):
+            resolve_unique((0, 1), resolver)
 
 
 class TestConstruction:

@@ -214,6 +214,19 @@ class TestQuery:
             with pytest.raises(QueryError):
                 index.query(KBTIMQuery(["music"], 51))
 
+    def test_mixed_form_duplicate_keyword_rejected(self, built_index):
+        """A topic id next to the name it resolves to would double-load
+        the keyword's block and double-count φ_w in the θ^Q plan."""
+        path, _ = built_index
+        with RRIndex(path) as index:
+            music_id = index.catalog["music"].topic_id
+            with pytest.raises(QueryError, match="duplicate keyword"):
+                index.query(KBTIMQuery([music_id, "music"], 3))
+            # and the clean forms still answer identically
+            by_name = index.query(KBTIMQuery(["music"], 3))
+            by_id = index.query(KBTIMQuery([music_id], 3))
+            assert by_name.seeds == by_id.seeds
+
     def test_repeated_query_deterministic(self, built_index):
         path, _ = built_index
         with RRIndex(path) as index:

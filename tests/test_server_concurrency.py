@@ -1,0 +1,387 @@
+"""Concurrent + batched serving tier (repro.core.server, PR 4).
+
+Three guarantees are pinned here:
+
+* ``query_batch`` is an *optimisation*, never a semantic change: seeds,
+  marginals, θ and φ_Q are bit-identical to sequential ``query()`` calls,
+  with caches on and off, and its per-query I/O attribution sums to the
+  batch's true total.
+* A shared ``KBTIMServer`` hammered from N threads answers every query
+  bit-identically to a single-threaded run, with exact stats counters.
+* ``ServerPool`` dispatches deterministically, aggregates stats, and its
+  answers match a single server's.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
+from repro.core.server import KBTIMServer, ServerPool, ServerStats
+from repro.core.theta import ThetaPolicy
+from repro.datasets.workload import make_mixed_workload
+from repro.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    from repro.graph.generators import twitter_like
+    from repro.profiles.generators import zipf_profiles
+    from repro.profiles.topics import TopicSpace
+    from repro.propagation.ic import IndependentCascade
+
+    graph = twitter_like(300, avg_degree=8, rng=41)
+    profiles = zipf_profiles(graph.n, TopicSpace.default(8), rng=42)
+    model = IndependentCascade(graph)
+    path = str(tmp_path_factory.mktemp("concurrent") / "c.rr")
+    RRIndexBuilder(
+        model, profiles, policy=ThetaPolicy(epsilon=1.0, K=30, cap=200), rng=43
+    ).build(path)
+    return path, profiles
+
+
+@pytest.fixture(scope="module")
+def workload(setup):
+    _path, profiles = setup
+    return make_mixed_workload(
+        profiles, n_queries=24, lengths=(1, 2, 3), ks=(3, 8), rng=44
+    )
+
+
+def _assert_same_selection(a, b):
+    assert a.seeds == b.seeds
+    assert a.marginal_coverages == b.marginal_coverages
+    assert a.theta == b.theta
+    assert a.phi_q == pytest.approx(b.phi_q)
+
+
+class TestBatchEquivalence:
+    def test_batch_matches_sequential_caches_on(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path) as seq_index:
+            sequential = [KBTIMServer(seq_index).query(q) for q in workload]
+        with KBTIMServer(RRIndex(path)) as server:
+            batched = server.query_batch(workload)
+        assert len(batched) == len(sequential)
+        for a, b in zip(sequential, batched):
+            _assert_same_selection(a, b)
+
+    def test_batch_matches_sequential_caches_off(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path, prefix_cache_keywords=0) as seq_index:
+            sequential = [seq_index.query(q) for q in workload]
+        with KBTIMServer(RRIndex(path, prefix_cache_keywords=0)) as server:
+            batched = server.query_batch(workload)
+        for a, b in zip(sequential, batched):
+            _assert_same_selection(a, b)
+
+    def test_batch_io_attribution_sums_to_total(self, setup, workload):
+        """Per-query io deltas partition the batch's physical I/O."""
+        path, _profiles = setup
+        with KBTIMServer(RRIndex(path, prefix_cache_keywords=0)) as server:
+            before = server.index.stats.snapshot()
+            batched = server.query_batch(workload)
+            total = server.index.stats.delta(before)
+        attributed_reads = sum(r.stats.io.read_calls for r in batched)
+        attributed_bytes = sum(r.stats.io.bytes_read for r in batched)
+        assert attributed_reads == total.read_calls
+        assert attributed_bytes == total.bytes_read
+
+    def test_batch_loads_each_keyword_once(self, setup, workload):
+        """Cold batch: exactly 2 reads (RR prefix + L_w) per distinct kw."""
+        path, _profiles = setup
+        distinct = {kw for q in workload for kw in q.keywords}
+        with KBTIMServer(RRIndex(path, prefix_cache_keywords=0)) as server:
+            before = server.index.stats.snapshot()
+            server.query_batch(workload)
+            total = server.index.stats.delta(before)
+        assert total.read_calls == 2 * len(distinct)
+
+    def test_batch_cheaper_than_sequential_cold(self, setup, workload):
+        """The point of batching: strictly fewer reads than cold sequential."""
+        path, _profiles = setup
+        with RRIndex(path, prefix_cache_keywords=0) as index:
+            before = index.stats.snapshot()
+            for q in workload:
+                index.query(q)
+            seq_reads = index.stats.delta(before).read_calls
+        with KBTIMServer(RRIndex(path, prefix_cache_keywords=0)) as server:
+            before = server.index.stats.snapshot()
+            server.query_batch(workload)
+            batch_reads = server.index.stats.delta(before).read_calls
+        assert batch_reads < seq_reads
+
+    def test_batch_uses_resident_blocks(self, setup, workload):
+        """A warmed server serves the whole batch without any disk read."""
+        path, _profiles = setup
+        distinct = sorted({kw for q in workload for kw in q.keywords})
+        with KBTIMServer(RRIndex(path)) as server:
+            server.warm(distinct)
+            before = server.index.stats.snapshot()
+            batched = server.query_batch(workload)
+            assert server.index.stats.delta(before).read_calls == 0
+            assert all(r.stats.io.read_calls == 0 for r in batched)
+            assert server.stats.keyword_misses == 0
+
+    def test_batch_stats_counters(self, setup):
+        path, _profiles = setup
+        queries = [
+            KBTIMQuery(("music", "book"), 3),
+            KBTIMQuery(("music",), 2),
+            KBTIMQuery(("book", "journal"), 4),
+        ]
+        with KBTIMServer(RRIndex(path)) as server:
+            server.query_batch(queries)
+            assert server.stats.queries == 3
+            # 3 distinct keywords load once each; the other 2 uses hit.
+            assert server.stats.keyword_misses == 3
+            assert server.stats.keyword_hits == 2
+
+    def test_empty_batch(self, setup):
+        path, _profiles = setup
+        with KBTIMServer(RRIndex(path)) as server:
+            assert server.query_batch([]) == []
+            assert server.stats.queries == 0
+
+    def test_invalid_query_fails_whole_batch_before_io(self, setup):
+        path, _profiles = setup
+        with KBTIMServer(RRIndex(path)) as server:
+            before = server.index.stats.snapshot()
+            with pytest.raises(QueryError):
+                server.query_batch(
+                    [KBTIMQuery(("music",), 2), KBTIMQuery(("music",), 999)]
+                )
+            assert server.index.stats.delta(before).read_calls == 0
+            assert server.stats.queries == 0
+
+    def test_batch_shares_query_error_contract(self, setup):
+        """query_batch raises the same exception types as query(), case
+        by case, so callers can migrate without changing handlers."""
+        from repro.errors import IndexError_
+
+        path, _profiles = setup
+        with KBTIMServer(RRIndex(path)) as server:
+            for bad in (
+                KBTIMQuery(("nosuchtopic",), 2),  # unknown -> IndexError_
+                KBTIMQuery(("music",), 999),  # over budget -> QueryError
+            ):
+                single = batch = None
+                try:
+                    server.query(bad)
+                except Exception as exc:
+                    single = type(exc)
+                try:
+                    server.query_batch([bad])
+                except Exception as exc:
+                    batch = type(exc)
+                assert single is not None and single is batch
+            assert isinstance(
+                pytest.raises(IndexError_, server.query_batch,
+                              [KBTIMQuery(("nosuchtopic",), 2)]).value,
+                IndexError_,
+            )
+
+    def test_batch_single_query_matches_query(self, setup):
+        path, _profiles = setup
+        q = KBTIMQuery(("music", "book"), 5)
+        with KBTIMServer(RRIndex(path)) as server:
+            (batched,) = server.query_batch([q])
+            direct = server.query(q)
+        _assert_same_selection(batched, direct)
+
+
+class TestThreadHammer:
+    def test_concurrent_queries_bit_identical(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            expected = [KBTIMServer(index).query(q) for q in workload]
+        with KBTIMServer(RRIndex(path), cache_keywords=16) as server:
+            jobs = list(enumerate(workload)) * 3  # each query thrice
+            answers = [None] * len(jobs)
+
+            def run(slot, pos, query):
+                answers[slot] = (pos, server.query(query))
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [
+                    pool.submit(run, slot, pos, query)
+                    for slot, (pos, query) in enumerate(jobs)
+                ]
+                for future in futures:
+                    future.result()
+            for pos, answer in answers:
+                _assert_same_selection(answer, expected[pos])
+            # Stats counters are exact despite the hammering.
+            assert server.stats.queries == len(jobs)
+            touches = sum(q.n_keywords for q in workload) * 3
+            assert (
+                server.stats.keyword_hits + server.stats.keyword_misses == touches
+            )
+
+    def test_concurrent_misses_decode_once(self, setup):
+        """N threads missing one cold keyword must trigger one load."""
+        path, _profiles = setup
+        with KBTIMServer(RRIndex(path, prefix_cache_keywords=0)) as server:
+            barrier = threading.Barrier(6)
+            query = KBTIMQuery(("music",), 3)
+            before = server.index.stats.snapshot()
+
+            def run():
+                barrier.wait()
+                return server.query(query)
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                futures = [pool.submit(run) for _ in range(6)]
+                results = [f.result() for f in futures]
+            assert server.stats.keyword_misses == 1
+            assert server.stats.keyword_hits == 5
+            # One load = 2 reads (RR prefix + inverted lists), total.
+            assert server.index.stats.delta(before).read_calls == 2
+            seeds = {r.seeds for r in results}
+            assert len(seeds) == 1
+
+    def test_concurrent_batches(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            expected = [KBTIMServer(index).query(q) for q in workload]
+        with KBTIMServer(RRIndex(path)) as server:
+            halves = [workload[::2], workload[1::2]]
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [pool.submit(server.query_batch, h) for h in halves]
+                outputs = [f.result() for f in futures]
+        for half, output in zip([expected[::2], expected[1::2]], outputs):
+            for a, b in zip(half, output):
+                _assert_same_selection(a, b)
+
+
+class TestServerPool:
+    def test_pool_matches_single_server(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            expected = [KBTIMServer(index).query(q) for q in workload]
+        with ServerPool(path, n_workers=4) as pool:
+            for q, want in zip(workload, expected):
+                _assert_same_selection(pool.query(q), want)
+
+    def test_pool_batch_matches_sequential(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            expected = [KBTIMServer(index).query(q) for q in workload]
+        for concurrent in (False, True):
+            with ServerPool(path, n_workers=3) as pool:
+                got = pool.query_batch(workload, concurrent=concurrent)
+            assert len(got) == len(expected)
+            for a, b in zip(expected, got):
+                _assert_same_selection(a, b)
+
+    def test_pool_matches_sequential_caches_off(self, setup, workload):
+        path, _profiles = setup
+        with RRIndex(path, prefix_cache_keywords=0) as index:
+            expected = [index.query(q) for q in workload]
+        with ServerPool(path, n_workers=4, prefix_cache_keywords=0) as pool:
+            got = pool.query_batch(workload)
+        for a, b in zip(expected, got):
+            _assert_same_selection(a, b)
+
+    def test_dispatch_deterministic_and_spread(self, setup, workload):
+        path, _profiles = setup
+        with ServerPool(path, n_workers=4) as pool:
+            shards = [pool.shard_of(q) for q in workload]
+            assert shards == [pool.shard_of(q) for q in workload]
+            assert all(0 <= s < 4 for s in shards)
+            # id refs dispatch to the same shard as their names
+            with RRIndex(path) as index:
+                for q in workload:
+                    ids = tuple(
+                        index.catalog[index._resolve(kw)].topic_id
+                        for kw in q.keywords
+                    )
+                    assert pool.shard_of(KBTIMQuery(ids, q.k)) == pool.shard_of(q)
+
+    def test_single_keyword_queries_stay_on_one_shard(self, setup):
+        path, _profiles = setup
+        with ServerPool(path, n_workers=4) as pool:
+            for _ in range(3):
+                pool.query(KBTIMQuery(("music",), 2))
+            loaded = [
+                w.stats.keyword_misses + w.stats.warm_loads for w in pool.workers
+            ]
+            assert sorted(loaded)[-1] == 1  # one worker loaded it, once
+            assert sum(loaded) == 1
+
+    def test_pool_stats_aggregate(self, setup, workload):
+        path, _profiles = setup
+        with ServerPool(path, n_workers=3) as pool:
+            pool.query_batch(workload)
+            stats = pool.stats
+            assert stats.queries == len(workload)
+            assert stats.queries == sum(w.stats.queries for w in pool.workers)
+            assert stats.keyword_hits == sum(
+                w.stats.keyword_hits for w in pool.workers
+            )
+            assert len(stats.latencies) == len(workload)
+            assert stats.mean_latency > 0
+            assert stats.percentile_latency(95) >= stats.percentile_latency(5)
+
+    def test_warm_lands_on_owning_shard(self, setup):
+        path, _profiles = setup
+        with ServerPool(path, n_workers=4) as pool:
+            pool.warm(["music", "book"])
+            assert sum(w.stats.warm_loads for w in pool.workers) == 2
+            # warmed exactly where single-keyword traffic dispatches
+            for kw in ("music", "book"):
+                shard = pool.shard_of(KBTIMQuery((kw,), 1))
+                assert kw in pool.workers[shard].cached_keywords
+
+    def test_evict_all_and_close(self, setup):
+        path, _profiles = setup
+        pool = ServerPool(path, n_workers=2)
+        pool.query(KBTIMQuery(("music",), 2))
+        pool.evict_all()
+        assert all(w.cached_keywords == [] for w in pool.workers)
+        pool.close()
+
+    def test_bad_worker_count_rejected(self, setup):
+        path, _profiles = setup
+        with pytest.raises(ValueError):
+            ServerPool(path, n_workers=0)
+
+    def test_pool_replay_threads(self, setup, workload):
+        """The replay driver drives a pool concurrently, answers intact."""
+        from repro.datasets.workload import replay
+
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            expected = [KBTIMServer(index).query(q) for q in workload]
+        with ServerPool(path, n_workers=2) as pool:
+            report = replay(pool, workload, threads=4)
+        assert report.n_queries == len(workload)
+        assert report.qps > 0
+        assert all(lat > 0 for lat in report.latencies)
+        for got, want in zip(report.results, expected):
+            _assert_same_selection(got, want)
+
+
+class TestMergedStats:
+    def test_merged_counts_and_window(self):
+        a = ServerStats(latency_window=4)
+        b = ServerStats(latency_window=4)
+        for i in range(6):
+            a.record_query(1.0 + i)
+        b.record_query(10.0)
+        b.record_keyword_hit()
+        b.record_keyword_miss()
+        merged = ServerStats.merged([a, b])
+        assert merged.queries == 7
+        assert merged.keyword_hits == 1
+        assert merged.keyword_misses == 1
+        assert merged.total_seconds == pytest.approx(31.0)
+        # a retains its newest 4 samples; b its single one
+        assert sorted(merged.latencies) == [3.0, 4.0, 5.0, 6.0, 10.0]
+
+    def test_merged_empty(self):
+        merged = ServerStats.merged([])
+        assert merged.queries == 0
+        assert merged.latencies == ()

@@ -1,9 +1,15 @@
-"""Tests for the query workload generator (repro.datasets.workload)."""
+"""Tests for query workloads and the replay driver (repro.datasets.workload)."""
 
 import numpy as np
 import pytest
 
-from repro.datasets.workload import make_workload
+from repro.datasets.workload import (
+    ReplayReport,
+    make_mixed_workload,
+    make_workload,
+    poisson_arrivals,
+    replay,
+)
 from repro.errors import QueryError
 from repro.profiles.generators import zipf_profiles
 from repro.profiles.topics import TopicSpace
@@ -56,3 +62,127 @@ class TestMakeWorkload:
         for length in range(1, 7):
             wl = make_workload(profiles, length=length, k=10, n_queries=3, rng=7)
             assert all(q.n_keywords == length for q in wl)
+
+
+class TestMixedWorkload:
+    def test_mixes_lengths_and_ks(self, profiles):
+        queries = make_mixed_workload(
+            profiles, n_queries=120, lengths=(1, 2, 3), ks=(5, 10), rng=11
+        )
+        assert len(queries) == 120
+        assert {q.n_keywords for q in queries} == {1, 2, 3}
+        assert {q.k for q in queries} == {5, 10}
+
+    def test_only_usable_topics_no_dups(self, profiles):
+        queries = make_mixed_workload(
+            profiles, n_queries=60, lengths=(2, 4), ks=(3,), rng=12
+        )
+        for q in queries:
+            assert len(set(q.keywords)) == q.n_keywords
+            for kw in q.keywords:
+                assert profiles.df(kw) > 0
+
+    def test_deterministic(self, profiles):
+        a = make_mixed_workload(profiles, n_queries=15, rng=13, ks=(4,))
+        b = make_mixed_workload(profiles, n_queries=15, rng=13, ks=(4,))
+        assert [q.keywords for q in a] == [q.keywords for q in b]
+        assert [q.k for q in a] == [q.k for q in b]
+
+    def test_popularity_skew(self, profiles):
+        queries = make_mixed_workload(
+            profiles, n_queries=300, lengths=(1,), ks=(1,), rng=14
+        )
+        head = sum(1 for q in queries if q.keywords[0] == profiles.topics.name(0))
+        tail = sum(
+            1 for q in queries if q.keywords[0] == profiles.topics.name(11)
+        )
+        assert head > tail
+
+    def test_empty_axes_rejected(self, profiles):
+        with pytest.raises(QueryError):
+            make_mixed_workload(profiles, n_queries=5, lengths=())
+        with pytest.raises(QueryError):
+            make_mixed_workload(profiles, n_queries=5, ks=())
+
+    def test_too_long_rejected(self):
+        small = zipf_profiles(30, TopicSpace.default(3), rng=15)
+        with pytest.raises(QueryError):
+            make_mixed_workload(small, n_queries=5, lengths=(10,))
+
+
+class TestPoissonArrivals:
+    def test_shape_and_monotone(self):
+        offsets = poisson_arrivals(50, rate_qps=100.0, rng=21)
+        assert offsets.shape == (50,)
+        assert np.all(np.diff(offsets) >= 0)
+        assert offsets[0] > 0
+
+    def test_rate_controls_density(self):
+        fast = poisson_arrivals(400, rate_qps=1000.0, rng=22)
+        slow = poisson_arrivals(400, rate_qps=10.0, rng=22)
+        assert fast[-1] < slow[-1]
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(QueryError):
+            poisson_arrivals(5, rate_qps=0.0)
+
+
+class _EchoServer:
+    """Minimal stand-in: replay only needs ``query``."""
+
+    def __init__(self):
+        self.seen = []
+
+    def query(self, q):
+        self.seen.append(q)
+        return ("answer", q.keywords)
+
+
+class TestReplay:
+    def _workload(self, profiles, n=8):
+        return make_mixed_workload(
+            profiles, n_queries=n, lengths=(1, 2), ks=(2,), rng=31
+        )
+
+    def test_closed_loop_order_and_report(self, profiles):
+        queries = self._workload(profiles)
+        server = _EchoServer()
+        report = replay(server, queries)
+        assert isinstance(report, ReplayReport)
+        assert report.n_queries == len(queries)
+        assert report.results == tuple(
+            ("answer", q.keywords) for q in queries
+        )
+        assert len(report.latencies) == len(queries)
+        assert report.qps > 0
+        assert report.mean_latency >= 0
+        assert report.percentile_latency(99) >= report.percentile_latency(1)
+
+    def test_threaded_results_in_workload_order(self, profiles):
+        queries = self._workload(profiles, n=16)
+        report = replay(_EchoServer(), queries, threads=4)
+        assert report.results == tuple(
+            ("answer", q.keywords) for q in queries
+        )
+        assert report.threads == 4
+
+    def test_open_loop_respects_schedule(self, profiles):
+        queries = self._workload(profiles, n=5)
+        arrivals = np.array([0.0, 0.01, 0.02, 0.03, 0.04])
+        report = replay(_EchoServer(), queries, threads=2, arrivals=arrivals)
+        # the replay cannot finish before the last scheduled arrival
+        assert report.elapsed_seconds >= 0.04
+        assert report.n_queries == 5
+
+    def test_arrival_validation(self, profiles):
+        queries = self._workload(profiles, n=3)
+        with pytest.raises(QueryError):
+            replay(_EchoServer(), queries, arrivals=[0.0, 1.0])  # wrong length
+        with pytest.raises(QueryError):
+            replay(_EchoServer(), queries, arrivals=[0.2, 0.1, 0.3])
+
+    def test_empty_workload(self):
+        report = replay(_EchoServer(), [])
+        assert report.n_queries == 0
+        assert report.qps == 0.0
+        assert report.mean_latency == 0.0
