@@ -8,7 +8,6 @@ the IRR index at several pool capacities and records the hit ratio — the
 knob a deployment would actually tune.
 """
 
-import pytest
 
 from repro.core.irr_index import IRRIndex
 from repro.datasets.workload import make_workload

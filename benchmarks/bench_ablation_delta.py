@@ -7,8 +7,6 @@ This bench sweeps δ on the default twitter-like dataset and records the
 query-cost trade-off the paper's fixed setting sits on.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.irr_index import IRRIndex, IRRIndexBuilder
 from repro.core.query import KBTIMQuery

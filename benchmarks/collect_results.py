@@ -1,0 +1,72 @@
+"""Bundle a benchmark run's CSV tables into one JSON artifact.
+
+The benchmark suite persists every result table as CSV under a results
+directory (``benchmarks/results/`` by default, ``KBTIM_BENCH_RESULTS``
+in CI).  CI's bench-smoke job runs the suite at smoke scale and uploads
+the output of this script as a workflow artifact, so every PR leaves a
+machine-readable perf breadcrumb shaped like the checked-in
+``BENCH_pr*.json`` files — same commit, same runner, diffable across
+PRs.
+
+Usage::
+
+    python benchmarks/collect_results.py \
+        --results-dir benchmarks/results --out bench_results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+import platform
+import sys
+from typing import Dict, List
+
+
+def collect(results_dir: str) -> Dict[str, List[Dict[str, str]]]:
+    """Read every ``*.csv`` table in ``results_dir`` into row dicts."""
+    tables: Dict[str, List[Dict[str, str]]] = {}
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".csv"):
+            continue
+        path = os.path.join(results_dir, name)
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        tables[name[: -len(".csv")]] = rows
+    return tables
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+        help="directory holding the benchmark CSV tables",
+    )
+    parser.add_argument("--out", required=True, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.results_dir):
+        print(f"error: results dir {args.results_dir!r} does not exist", file=sys.stderr)
+        return 1
+    tables = collect(args.results_dir)
+    payload = {
+        "scale": os.environ.get("KBTIM_BENCH_SCALE", "default"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "commit": os.environ.get("GITHUB_SHA", ""),
+        "tables": tables,
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}: {len(tables)} tables")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

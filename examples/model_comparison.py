@@ -13,7 +13,6 @@ model, which must agree with native IC statistically.
 Run:  python examples/model_comparison.py
 """
 
-import numpy as np
 
 from repro import (
     GeneralTriggering,

@@ -21,7 +21,6 @@ from repro import (
     IRRIndex,
     IRRIndexBuilder,
     IndependentCascade,
-    KBTIMQuery,
     RRIndex,
     RRIndexBuilder,
     ThetaPolicy,

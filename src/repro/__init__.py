@@ -42,6 +42,7 @@ from repro.core import (
     KBTIMServer,
     KeywordMeta,
     KeywordTable,
+    ProcessServerPool,
     QueryStats,
     RRIndex,
     RRIndexBuilder,
@@ -61,6 +62,7 @@ from repro.errors import (
     ProfileError,
     QueryError,
     ReproError,
+    ServerError,
     StorageError,
 )
 from repro.graph import (
@@ -103,6 +105,7 @@ __all__ = [
     "IRRIndex",
     "KBTIMServer",
     "ServerPool",
+    "ProcessServerPool",
     "DEFAULT_PARTITION_SIZE",
     "BuildReport",
     "KeywordMeta",
@@ -145,4 +148,5 @@ __all__ = [
     "StorageError",
     "CorruptIndexError",
     "EstimationError",
+    "ServerError",
 ]

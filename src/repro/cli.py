@@ -14,6 +14,9 @@ stage so the library can be driven without writing Python:
     Print an index's catalog (keywords, θ_w, sizes).
 ``experiment``
     Regenerate one of the paper's tables/figures at a chosen scale.
+``replay``
+    Drive a serving pool (thread or process workers) over a synthetic
+    query stream and report throughput/latency.
 """
 
 from __future__ import annotations
@@ -129,6 +132,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", choices=("smoke", "default"), default="smoke")
     experiment.add_argument("--csv", help="also write the result table as CSV")
+
+    rep = sub.add_parser(
+        "replay", help="replay a query stream against a serving pool"
+    )
+    rep.add_argument("--index", required=True, help="RR index file to serve")
+    rep.add_argument(
+        "--profiles", required=True, help="profiles .npz (supplies the topic space)"
+    )
+    rep.add_argument(
+        "--pool",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker model: threads in this process, or worker processes",
+    )
+    rep.add_argument("--workers", type=int, default=4, help="pool shard count")
+    rep.add_argument(
+        "--threads", type=int, default=4, help="closed-loop client concurrency"
+    )
+    rep.add_argument("--n-queries", type=int, default=48, help="stream length")
+    rep.add_argument(
+        "--lengths", default="1,2,3", help="comma-separated |Q.T| candidates"
+    )
+    rep.add_argument("--ks", default="5,10", help="comma-separated Q.k candidates")
+    rep.add_argument(
+        "--rate",
+        type=float,
+        help="open-loop Poisson arrival rate in q/s (omit for closed loop)",
+    )
+    rep.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-load every keyword of the stream before measuring",
+    )
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -296,6 +334,64 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.process_pool import ProcessServerPool
+    from repro.core.server import ServerPool
+    from repro.datasets.workload import (
+        make_mixed_workload,
+        poisson_arrivals,
+        replay,
+    )
+
+    profiles = load_profiles_npz(args.profiles)
+    lengths = tuple(int(v) for v in args.lengths.split(",") if v.strip())
+    ks = tuple(int(v) for v in args.ks.split(",") if v.strip())
+    queries = make_mixed_workload(
+        profiles,
+        n_queries=args.n_queries,
+        lengths=lengths,
+        ks=ks,
+        rng=args.seed,
+    )
+    pool_cls = ServerPool if args.pool == "thread" else ProcessServerPool
+    arrivals = (
+        poisson_arrivals(len(queries), args.rate, rng=args.seed)
+        if args.rate is not None
+        else None
+    )
+    with pool_cls(args.index, n_workers=args.workers) as pool:
+        if args.warm:
+            pool.warm(sorted({kw for q in queries for kw in q.keywords}))
+        report = replay(pool, queries, threads=args.threads, arrivals=arrivals)
+        stats = pool.stats
+    payload = {
+        "pool": args.pool,
+        "workers": args.workers,
+        "threads": args.threads,
+        "mode": "open" if args.rate is not None else "closed",
+        "queries": report.n_queries,
+        "qps": report.qps,
+        "p50_ms": report.percentile_latency(50) * 1e3,
+        "p95_ms": report.percentile_latency(95) * 1e3,
+        "p99_ms": report.percentile_latency(99) * 1e3,
+        "mean_ms": report.mean_latency * 1e3,
+        "hit_ratio": stats.hit_ratio,
+    }
+    if args.json:
+        print(json.dumps(payload))
+    else:
+        print(
+            f"{payload['mode']}-loop replay: {payload['queries']} queries on "
+            f"{args.workers} {args.pool} workers, {args.threads} client threads"
+        )
+        print(
+            f"  {payload['qps']:.1f} q/s; p50 {payload['p50_ms']:.2f} ms, "
+            f"p95 {payload['p95_ms']:.2f} ms, p99 {payload['p99_ms']:.2f} ms"
+        )
+        print(f"  keyword-cache hit ratio: {payload['hit_ratio']:.2f}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "build-index": _cmd_build_index,
@@ -304,6 +400,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "extract": _cmd_extract,
     "experiment": _cmd_experiment,
+    "replay": _cmd_replay,
 }
 
 
@@ -314,6 +411,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, TypeError) as exc:
+        # Argument-validation failures from the library layer (e.g.
+        # `--workers 0` hitting check_positive_int) follow the same
+        # clean one-line error contract as domain failures.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:

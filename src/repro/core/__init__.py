@@ -21,6 +21,7 @@ from repro.core.estimation import (
 from repro.core.irr_index import DEFAULT_PARTITION_SIZE, IRRIndex, IRRIndexBuilder
 from repro.core.maintenance import IndexCheckReport, extract_keywords, verify_index
 from repro.core.offline import KeywordTable, sample_keyword_tables
+from repro.core.process_pool import ProcessServerPool
 from repro.core.query import KBTIMQuery
 from repro.core.results import QueryStats, SeedSelection
 from repro.core.ris import ris_query
@@ -62,6 +63,7 @@ __all__ = [
     "RRIndex",
     "KBTIMServer",
     "ServerPool",
+    "ProcessServerPool",
     "ServerStats",
     "verify_index",
     "extract_keywords",

@@ -52,19 +52,15 @@ from repro.core.rr_index import (
     KeywordMeta,
     RRIndexBuilder,
     _invert,
-    build_keyword_meta,
     plan_theta_q,
 )
 from repro.core.theta import ThetaPolicy
 from repro.errors import CorruptIndexError, IndexError_, QueryError
-from repro.profiles.store import ProfileStore
-from repro.propagation.base import PropagationModel
 from repro.storage.compression import Codec
 from repro.storage.iostats import IOStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
-from repro.storage.records import InvertedListsRecord, RRSetsRecord
+from repro.storage.records import InvertedListsRecord
 from repro.storage.segments import SegmentReader, SegmentWriter
-from repro.utils.rng import RngLike
 from repro.utils.segments import segmented_arange
 
 __all__ = ["IRRIndexBuilder", "IRRIndex", "DEFAULT_PARTITION_SIZE"]
@@ -607,7 +603,8 @@ class IRRIndex:
                     refresh_bounds(live, with_completeness=True)
             return any_loaded
 
-        unseen_bound = lambda: sum(state.kb for state in state_list)
+        def unseen_bound() -> int:
+            return sum(state.kb for state in state_list)
 
         while len(seeds) < query.k:
             vertex = int(np.argmax(live_bound))

@@ -1,0 +1,581 @@
+"""Process-level serving workers: the GIL-free tier of the server stack.
+
+The thread :class:`~repro.core.server.ServerPool` proved (BENCH_pr4.json)
+that warm serving is pure CPU — numpy merges and greedy selection under
+the GIL — so adding threads buys contention, not throughput.
+:class:`ProcessServerPool` keeps that pool's exact architecture (N
+workers over one immutable index file, ``crc32`` primary-keyword shard
+dispatch, sharded batches, warm/evict fan-out, merged stats) but gives
+every worker its *own process*, its own reader, block cache and buffer
+pool, so N shards really execute on N cores.
+
+The request/response path is a tiny pickled protocol over one
+:func:`multiprocessing.Pipe` per worker:
+
+* parent → worker: ``(method, payload)`` tuples — queries and plans are
+  plain picklable dataclasses (:class:`~repro.core.query.KBTIMQuery`
+  reduces through its validating constructor);
+* worker → parent: ``("ok", result)`` or ``("err", exception)`` —
+  results carry :class:`~repro.core.results.QueryStats` /
+  :class:`~repro.storage.iostats.IOStats` snapshots, and stats requests
+  return :meth:`~repro.core.server.ServerStats.snapshot` copies, all of
+  which pickle without their locks and re-grow fresh ones on arrival.
+
+Failure surfacing is first-class: a query-level error raised inside a
+worker (unknown keyword, over-budget ``k``) crosses the pipe with its
+original type, while a *dead* worker — killed, crashed, or OOMed — turns
+the next request on its shard into a
+:class:`~repro.errors.ServerError` naming the worker and exit code
+instead of a hang.
+
+Answers are bit-identical to :meth:`KBTIMServer.query` and to the thread
+pool: each worker runs the same ``KBTIMServer`` code over the same
+immutable file, and dispatch shares
+:func:`~repro.core.server.shard_of_keyword`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import pickle
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.query import KBTIMQuery, KeywordRef
+from repro.core.results import SeedSelection
+from repro.core.server import (
+    KBTIMServer,
+    ServerStats,
+    _sharded_batch,
+    shard_of_keyword,
+)
+from repro.errors import CorruptIndexError, IndexError_, ServerError
+from repro.storage.iostats import IOStats
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+from repro.storage.segments import SegmentReader
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ProcessServerPool"]
+
+
+#: Seconds the parent waits for a worker's startup handshake before
+#: declaring the spawn failed.  Generous on purpose: a ``spawn`` worker
+#: pays a full interpreter + numpy import before it can answer.
+_STARTUP_TIMEOUT = 120.0
+
+
+def _worker_main(conn, path: str, worker_id: int, config: dict) -> None:
+    """One worker process: a :class:`KBTIMServer` behind a request pipe.
+
+    Opens its own reader (and therefore its own buffer pool, I/O
+    counters and caches) over the immutable index file, acknowledges
+    startup, then serves ``(method, payload)`` requests until a
+    ``shutdown`` request or a closed pipe.  Every per-request exception
+    is shipped back to the parent instead of killing the loop, so one
+    bad query never takes down a shard.
+    """
+    from repro.core.rr_index import RRIndex
+    from repro.storage.pager import BufferPool
+
+    try:
+        index_kwargs = dict(config["index_kwargs"])
+        index_kwargs["pool"] = BufferPool(config["pool_pages"])
+        index = RRIndex(path, **index_kwargs)
+        server = KBTIMServer(index, cache_keywords=config["cache_keywords"])
+    except BaseException as exc:  # startup failure -> surfaced by parent
+        _send_result(conn, "err", _portable_exc(exc))
+        conn.close()
+        return
+    _send_result(conn, "ready", os.getpid())
+    try:
+        while True:
+            try:
+                method, payload = conn.recv()
+            except (EOFError, OSError):
+                break  # parent died or closed the pipe: exit quietly
+            except BaseException as exc:
+                # The message arrived but failed to *unpickle* — e.g. a
+                # query that flunked KBTIMQuery's re-validation on
+                # arrival.  That is a request-level error, not a worker
+                # failure: ship it back and keep serving the shard (the
+                # pipe stays framed; the broken payload was consumed).
+                _send_result(conn, "err", _portable_exc(exc))
+                continue
+            if method == "shutdown":
+                _send_result(conn, "ok", None)
+                break
+            try:
+                result = _dispatch(server, method, payload)
+            except BaseException as exc:
+                _send_result(conn, "err", _portable_exc(exc))
+            else:
+                _send_result(conn, "ok", result)
+    finally:
+        server.index.close()
+        conn.close()
+
+
+def _dispatch(server: KBTIMServer, method: str, payload):
+    """Execute one request against the worker's server."""
+    if method == "query":
+        return server.query(payload)
+    if method == "query_batch":
+        return server.query_batch(payload)
+    if method == "warm":
+        server.warm(payload)
+        return None
+    if method == "evict_all":
+        server.evict_all()
+        return None
+    if method == "stats":
+        return server.stats.snapshot()
+    if method == "io_stats":
+        return server.index.stats.snapshot()
+    if method == "cached_keywords":
+        return server.cached_keywords
+    if method == "ping":
+        return os.getpid()
+    raise ServerError(f"unknown worker request {method!r}")
+
+
+def _send_result(conn, status: str, payload) -> None:
+    """Best-effort send: a dead parent must not crash the worker loop."""
+    try:
+        conn.send((status, payload))
+    except (BrokenPipeError, OSError):
+        pass
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """An exception object that survives the pipe.
+
+    Library errors carry plain-string args and pickle as themselves, so
+    the parent re-raises the original type.  Anything unpicklable is
+    downgraded to a :class:`ServerError` that preserves the type name
+    and message.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ServerError(f"worker raised {type(exc).__name__}: {exc}")
+
+
+class _WorkerHandle:
+    """Parent-side endpoint of one worker process.
+
+    ``request`` holds the per-worker lock across the send/recv pair, so
+    any number of parent threads may talk to the pool while each
+    worker's pipe stays a strict request/response channel.  Requests to
+    one worker therefore serialise (it is one process working one shard);
+    requests to different workers run fully in parallel.
+    """
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.pid: Optional[int] = None
+        self.lock = threading.Lock()
+        self.closed = False
+
+    def handshake(self, timeout: float) -> None:
+        """Wait for the worker's startup acknowledgement."""
+        status, payload = self._recv(timeout=timeout, starting=True)
+        if status == "err":
+            raise payload
+        if status != "ready":
+            raise ServerError(
+                f"server worker {self.worker_id} sent an invalid startup "
+                f"message {status!r}"
+            )
+        self.pid = payload
+
+    def request(self, method: str, payload=None, *, timeout: Optional[float] = None):
+        """One round trip; raises what the worker raised, or ServerError."""
+        with self.lock:
+            if self.closed:
+                raise ServerError(
+                    f"server worker {self.worker_id} is closed (pool shut down)"
+                )
+            try:
+                self.conn.send((method, payload))
+            except (BrokenPipeError, OSError):
+                raise self._death() from None
+            status, result = self._recv(timeout=timeout)
+        if status == "err":
+            raise result
+        return result
+
+    def _recv(self, *, timeout: Optional[float], starting: bool = False):
+        try:
+            if timeout is not None and not self.conn.poll(timeout):
+                raise ServerError(
+                    f"server worker {self.worker_id} (pid {self.pid}) did not "
+                    f"answer within {timeout:.1f}s"
+                    + (" during startup" if starting else "")
+                )
+            return self.conn.recv()
+        except (EOFError, OSError):
+            raise self._death() from None
+
+    def _death(self) -> ServerError:
+        """A diagnosis-bearing error for a worker that stopped talking."""
+        self.process.join(timeout=1.0)
+        code = self.process.exitcode
+        detail = (
+            f"exit code {code}" if code is not None else "still running, pipe broken"
+        )
+        return ServerError(
+            f"server worker {self.worker_id} (pid {self.pid}) died "
+            f"unexpectedly ({detail}); its shard is unavailable — rebuild "
+            "the pool to restore it"
+        )
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Polite stop, escalating to terminate; always reaps the process."""
+        with self.lock:
+            if self.closed:
+                return
+            self.closed = True
+            try:
+                self.conn.send(("shutdown", None))
+                if self.conn.poll(join_timeout):
+                    self.conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            finally:
+                self.conn.close()
+        self.process.join(timeout=join_timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=join_timeout)
+
+
+class ProcessServerPool:
+    """N worker *processes* sharding one immutable RR index file.
+
+    The process-level counterpart of the thread
+    :class:`~repro.core.server.ServerPool`: same keyword-sharded
+    dispatch (``crc32`` of the query's primary keyword via
+    :func:`~repro.core.server.shard_of_keyword`), same sharded
+    :meth:`query_batch`, :meth:`warm`/:meth:`evict_all` fan-out and
+    merged :class:`~repro.core.server.ServerStats` view — but each
+    worker owns a whole :class:`~repro.core.server.KBTIMServer` (reader,
+    block cache, prefix cache, buffer pool) in its own process, so warm
+    CPU-bound serving scales past the GIL.
+
+    Parameters
+    ----------
+    path:
+        The RR index file every worker opens.  The file is immutable
+        while served, so workers need no cross-process coordination.
+    n_workers:
+        Number of shards/processes (>= 1).
+    cache_keywords:
+        Per-worker block-cache capacity (LRU).
+    pool_pages:
+        Capacity of each worker's page buffer pool.  Unlike the thread
+        pool there is no shared pool — every process pays its own page
+        cache, the standard memory-for-parallelism trade.
+    page_size:
+        Page fault granularity in bytes.
+    prefix_cache_keywords:
+        Per-worker decoded-prefix-cache capacity; ``None`` keeps the
+        reader default, ``0`` disables that tier.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` picks ``fork`` where available
+        (cheap startup) and ``spawn`` elsewhere.
+    request_timeout:
+        Optional per-request ceiling in seconds; a worker that exceeds
+        it raises :class:`~repro.errors.ServerError` on the caller.
+        ``None`` (default) waits indefinitely — worker *death* is still
+        detected immediately via the broken pipe.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive ``n_workers`` or ``cache_keywords``.
+    CorruptIndexError
+        If ``path`` is not a readable RR index (checked in the parent
+        before any process is spawned).
+    ServerError
+        If a worker fails its startup handshake.
+
+    **Thread safety.**  Any number of parent threads may call
+    :meth:`query` / :meth:`query_batch` concurrently; each worker's pipe
+    is a locked request/response channel, so concurrent queries to one
+    shard serialise (that shard is one process) while different shards
+    proceed in parallel.
+
+    **Semantics.**  Answers are bit-identical to
+    :meth:`KBTIMServer.query` and to the thread pool — same code, same
+    immutable file, same dispatch — and per-query
+    :class:`~repro.core.results.QueryStats` carry exact I/O accounting
+    measured inside the owning worker.  Stats snapshots
+    (:attr:`stats`, :meth:`worker_stats`, :attr:`io_stats`) are
+    request/response copies: consistent per worker, fetched at call
+    time.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        n_workers: int = 4,
+        cache_keywords: int = 64,
+        pool_pages: int = 4096,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        prefix_cache_keywords: Optional[int] = None,
+        start_method: Optional[str] = None,
+        request_timeout: Optional[float] = None,
+    ) -> None:
+        self.n_workers = check_positive_int("n_workers", n_workers)
+        check_positive_int("cache_keywords", cache_keywords)
+        self.path = str(path)
+        self.request_timeout = request_timeout
+        self._closed = False
+        # Parent-side catalog: names + topic-id map only, for dispatch
+        # and warm routing.  Loaded once and the reader closed *before*
+        # spawning, so no open file descriptor leaks into fork children
+        # and a corrupt file fails fast in the parent.
+        self._topic_names = self._load_topic_names(self.path, page_size)
+        index_kwargs: Dict[str, object] = dict(page_size=page_size)
+        if prefix_cache_keywords is not None:
+            index_kwargs["prefix_cache_keywords"] = prefix_cache_keywords
+        config = {
+            "index_kwargs": index_kwargs,
+            "cache_keywords": cache_keywords,
+            "pool_pages": check_positive_int("pool_pages", pool_pages),
+        }
+
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+
+        workers: List[_WorkerHandle] = []
+        try:
+            for worker_id in range(self.n_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, self.path, worker_id, config),
+                    name=f"kbtim-server-{worker_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()  # the worker owns its end now
+                workers.append(_WorkerHandle(worker_id, process, parent_conn))
+            for handle in workers:
+                handle.handshake(_STARTUP_TIMEOUT)
+        except BaseException:
+            for handle in workers:
+                handle.shutdown(join_timeout=1.0)
+            raise
+        self._workers = tuple(workers)
+
+    @staticmethod
+    def _load_topic_names(path: str, page_size: int) -> Dict[int, str]:
+        """Read the catalog's topic-id -> name map (parent-side dispatch)."""
+        reader = SegmentReader(path, page_size=page_size)
+        try:
+            meta = json.loads(reader.read("meta").decode("utf-8"))
+        finally:
+            reader.close()
+        if meta.get("format") != "rr-index":
+            raise CorruptIndexError(
+                f"{path}: not an RR index (format={meta.get('format')!r})"
+            )
+        return {
+            int(entry["topic_id"]): name
+            for name, entry in meta["keywords"].items()
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _resolve(self, keyword: KeywordRef) -> str:
+        """Topic names pass through; ids resolve via the catalog map.
+
+        Mirrors ``RRIndex._resolve`` exactly (including *not* validating
+        names — an unknown name dispatches to some shard whose worker
+        then raises the reader's usual ``IndexError_``), so the process
+        pool routes queries to the same shards as the thread pool.
+        """
+        if isinstance(keyword, str):
+            return keyword
+        name = self._topic_names.get(keyword)
+        if name is None:
+            raise IndexError_(f"topic id {keyword!r} is not in the index")
+        return name
+
+    def shard_of(self, query: KBTIMQuery) -> int:
+        """The worker this query dispatches to (primary-keyword hash).
+
+        Identical mapping to the thread pool's
+        :meth:`~repro.core.server.ServerPool.shard_of` — both hash the
+        lexicographically smallest resolved keyword through
+        :func:`~repro.core.server.shard_of_keyword`.
+
+        Raises
+        ------
+        IndexError_
+            If a topic-id keyword ref is not in the index.
+        """
+        return shard_of_keyword(
+            min(self._resolve(kw) for kw in query.keywords), self.n_workers
+        )
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def query(self, query: KBTIMQuery) -> SeedSelection:
+        """Answer one query on its shard's worker process.
+
+        Same parameters, return value and exceptions as
+        :meth:`KBTIMServer.query`, plus
+        :class:`~repro.errors.ServerError` if the owning worker process
+        has died or the pool is closed.
+        """
+        self._check_open()
+        return self._workers[self.shard_of(query)].request(
+            "query", query, timeout=self.request_timeout
+        )
+
+    def query_batch(
+        self, queries: Sequence[KBTIMQuery], *, concurrent: bool = True
+    ) -> List[SeedSelection]:
+        """Answer a batch, sharded across worker processes.
+
+        The batch splits by shard; each populated shard's sub-batch runs
+        through its worker's :meth:`KBTIMServer.query_batch` (one shared
+        load per keyword at the maximum requested prefix), and results
+        return in input order.  With ``concurrent=True`` sub-batches are
+        issued in parallel, so they execute on as many cores as there
+        are populated shards.
+
+        Raises
+        ------
+        QueryError
+            If any query is invalid; validation happens in each worker's
+            planning phase before that shard touches disk.  Other
+            shards' sub-batches may still have been answered.
+        IndexError_
+            On the first unknown keyword.
+        ServerError
+            If a serving worker died mid-batch.
+        """
+        self._check_open()
+        return _sharded_batch(
+            queries,
+            self.shard_of,
+            lambda shard, sub: self._workers[shard].request(
+                "query_batch", sub, timeout=self.request_timeout
+            ),
+            concurrent,
+        )
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def warm(self, keywords: Iterable[KeywordRef]) -> None:
+        """Pre-load each keyword on the worker process that owns it.
+
+        Grouped fan-out: one request per populated shard.  Counted under
+        each worker's ``warm_loads``, exactly like the thread pool.
+
+        Raises
+        ------
+        QueryError
+            If a keyword name is not in the index.
+        IndexError_
+            If a topic id is unknown.
+        """
+        self._check_open()
+        by_shard: Dict[int, List[str]] = {}
+        for kw in keywords:
+            name = self._resolve(kw)
+            by_shard.setdefault(shard_of_keyword(name, self.n_workers), []).append(
+                name
+            )
+        for shard, names in sorted(by_shard.items()):
+            self._workers[shard].request("warm", names, timeout=self.request_timeout)
+
+    def evict_all(self) -> None:
+        """Drop every worker's cached blocks and decoded prefixes."""
+        self._check_open()
+        for handle in self._workers:
+            handle.request("evict_all", timeout=self.request_timeout)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def worker_stats(self) -> List[ServerStats]:
+        """Per-worker :class:`ServerStats` snapshots, in shard order."""
+        self._check_open()
+        return [
+            handle.request("stats", timeout=self.request_timeout)
+            for handle in self._workers
+        ]
+
+    @property
+    def stats(self) -> ServerStats:
+        """Pool-level aggregated stats (a snapshot fetched from every
+        worker; see :meth:`worker_stats` for shard detail)."""
+        return ServerStats.merged(self.worker_stats())
+
+    @property
+    def io_stats(self) -> IOStats:
+        """Summed physical I/O counters across every worker's reader."""
+        self._check_open()
+        total = IOStats()
+        for handle in self._workers:
+            total.add(handle.request("io_stats", timeout=self.request_timeout))
+        return total
+
+    def worker_cached_keywords(self) -> List[List[str]]:
+        """Each worker's cached keyword names (LRU order), in shard order."""
+        self._check_open()
+        return [
+            handle.request("cached_keywords", timeout=self.request_timeout)
+            for handle in self._workers
+        ]
+
+    @property
+    def pids(self) -> List[int]:
+        """Worker process ids, in shard order."""
+        return [handle.pid for handle in self._workers]
+
+    def worker_alive(self, shard: int) -> bool:
+        """Whether one shard's worker process is currently running."""
+        return self._workers[shard].process.is_alive()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServerError("process server pool is closed")
+
+    def close(self) -> None:
+        """Shut every worker down (polite request, then terminate).
+
+        Idempotent; afterwards every serving method raises
+        :class:`~repro.errors.ServerError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            handle.shutdown()
+
+    def __enter__(self) -> "ProcessServerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

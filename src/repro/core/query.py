@@ -8,7 +8,7 @@ constructed without holding a reference to the dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple, Union
 
 from repro.errors import QueryError
@@ -101,6 +101,16 @@ class KBTIMQuery:
             raise QueryError(f"k must be >= 1, got {k}")
         object.__setattr__(self, "keywords", keywords)
         object.__setattr__(self, "k", k)
+
+    def __reduce__(self):
+        """Pickle through the constructor, not raw ``__dict__`` restore.
+
+        Queries cross process boundaries in the serving tier's process
+        pool; reducing to a constructor call means a tampered or
+        version-skewed payload re-validates on arrival instead of
+        materialising an invariant-breaking query object.
+        """
+        return (KBTIMQuery, (self.keywords, self.k))
 
     @property
     def n_keywords(self) -> int:

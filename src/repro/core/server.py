@@ -50,7 +50,58 @@ from repro.storage.iostats import IOStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
 from repro.utils.validation import check_positive_int
 
-__all__ = ["KBTIMServer", "ServerPool", "ServerStats"]
+__all__ = ["KBTIMServer", "ServerPool", "ServerStats", "shard_of_keyword"]
+
+
+def shard_of_keyword(name: str, n_shards: int) -> int:
+    """The shard owning one resolved keyword name.
+
+    ``zlib.crc32`` (not the salted builtin ``hash``) keeps the mapping
+    deterministic across processes — the thread :class:`ServerPool`, the
+    process pool and any external router all agree on which worker owns
+    a keyword, so pre-warmed blocks land where their traffic will.
+    """
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+def _sharded_batch(queries, shard_of, run_subbatch, concurrent: bool):
+    """Split a batch by shard, run each sub-batch, reassemble in order.
+
+    The one dispatch loop shared by :meth:`ServerPool.query_batch` and
+    :meth:`ProcessServerPool.query_batch` — both pools must split, fan
+    out and reassemble identically, so the logic lives once.
+
+    ``shard_of`` maps a query to its shard; ``run_subbatch(shard,
+    sub_queries)`` answers one shard's queries in order.  With
+    ``concurrent=True`` populated shards run on one thread each; a
+    failing sub-batch propagates its exception (first submitted future
+    wins), and other shards' sub-batches may still have completed.
+    """
+    queries = list(queries)
+    if not queries:
+        return []
+    by_shard: Dict[int, List[int]] = {}
+    for pos, query in enumerate(queries):
+        by_shard.setdefault(shard_of(query), []).append(pos)
+    results: List[Optional[SeedSelection]] = [None] * len(queries)
+
+    def run_shard(shard: int, positions: List[int]) -> None:
+        answers = run_subbatch(shard, [queries[pos] for pos in positions])
+        for pos, answer in zip(positions, answers):
+            results[pos] = answer
+
+    if concurrent and len(by_shard) > 1:
+        with ThreadPoolExecutor(max_workers=len(by_shard)) as executor:
+            futures = [
+                executor.submit(run_shard, shard, positions)
+                for shard, positions in by_shard.items()
+            ]
+            for future in futures:
+                future.result()
+    else:
+        for shard, positions in by_shard.items():
+            run_shard(shard, positions)
+    return results
 
 
 #: Default latency-sample retention.  A long-lived server must not grow
@@ -90,6 +141,41 @@ class ServerStats:
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
+
+    def __getstate__(self) -> dict:
+        """Pickle support: counters and samples travel, the lock does not.
+
+        Process-pool workers ship :meth:`snapshot` copies to the parent
+        for the merged pool view; an ``RLock`` cannot cross that
+        boundary, so the receiving side gets a fresh one.
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def snapshot(self) -> "ServerStats":
+        """A detached, picklable copy of the current stats.
+
+        Taken under the counter lock so the copy is a consistent cut;
+        the copy does not track this instance afterwards.  This is what
+        process-pool workers send to the parent — the live object keeps
+        serving its own thread-safe counters.
+        """
+        with self._lock:
+            out = ServerStats(
+                queries=self.queries,
+                keyword_hits=self.keyword_hits,
+                keyword_misses=self.keyword_misses,
+                warm_loads=self.warm_loads,
+                total_seconds=self.total_seconds,
+                latency_window=self.latency_window,
+            )
+            out._latencies = deque(self._latencies, maxlen=self.latency_window or None)
+        return out
 
     @property
     def latencies(self) -> Tuple[float, ...]:
@@ -637,12 +723,12 @@ class ServerPool:
     def _shard_of_name(self, name: str) -> int:
         """The worker owning one resolved keyword name.
 
-        ``zlib.crc32`` (not the salted builtin ``hash``) keeps the
-        mapping deterministic across processes.  :meth:`shard_of` and
+        Routes through :func:`shard_of_keyword`, the process-independent
+        mapping shared with the process pool.  :meth:`shard_of` and
         :meth:`warm` both route through here, so pre-warmed keywords are
         guaranteed to land where their traffic will.
         """
-        return zlib.crc32(name.encode("utf-8")) % self.n_workers
+        return shard_of_keyword(name, self.n_workers)
 
     def shard_of(self, query: KBTIMQuery) -> int:
         """The worker index this query dispatches to.
@@ -687,33 +773,12 @@ class ServerPool:
             sub-batch's planning phase, before that shard touches disk;
             other shards' sub-batches may still have been answered.
         """
-        queries = list(queries)
-        if not queries:
-            return []
-        by_shard: Dict[int, List[int]] = {}
-        for pos, query in enumerate(queries):
-            by_shard.setdefault(self.shard_of(query), []).append(pos)
-        results: List[Optional[SeedSelection]] = [None] * len(queries)
-
-        def run_shard(shard: int, positions: List[int]) -> None:
-            answers = self.workers[shard].query_batch(
-                [queries[pos] for pos in positions]
-            )
-            for pos, answer in zip(positions, answers):
-                results[pos] = answer
-
-        if concurrent and len(by_shard) > 1:
-            with ThreadPoolExecutor(max_workers=len(by_shard)) as executor:
-                futures = [
-                    executor.submit(run_shard, shard, positions)
-                    for shard, positions in by_shard.items()
-                ]
-                for future in futures:
-                    future.result()
-        else:
-            for shard, positions in by_shard.items():
-                run_shard(shard, positions)
-        return results  # type: ignore[return-value]
+        return _sharded_batch(
+            queries,
+            self.shard_of,
+            lambda shard, sub: self.workers[shard].query_batch(sub),
+            concurrent,
+        )
 
     # ------------------------------------------------------------------
     def warm(self, keywords: Iterable) -> None:

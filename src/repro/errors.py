@@ -43,3 +43,15 @@ class IndexError_(ReproError):
 
 class EstimationError(ReproError):
     """Raised when OPT estimation cannot produce a usable lower bound."""
+
+
+class ServerError(ReproError):
+    """Raised when a serving worker fails out-of-band.
+
+    Query-level failures (bad keyword, over-budget ``k``) keep their
+    usual types even across a process boundary; :class:`ServerError`
+    covers the transport instead — a worker process that died, a pipe
+    that broke, or a request issued after the pool was closed — so
+    callers can tell "your query was wrong" from "the serving tier is
+    unhealthy" with one ``except`` clause.
+    """

@@ -6,11 +6,10 @@ the benches print them and EXPERIMENTS.md records the shape comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
-from repro.core.query import KBTIMQuery
 from repro.core.wris import wris_query
 from repro.datasets.synthetic import Dataset
 from repro.experiments.harness import ExperimentContext, _stable_salt

@@ -22,8 +22,8 @@ import shutil
 import tempfile
 import time
 import zlib
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from repro.core.irr_index import IRRIndex, IRRIndexBuilder
 from repro.core.offline import KeywordTable
@@ -265,23 +265,36 @@ class ExperimentContext:
         dataset: Dataset,
         *,
         n_workers: int = 4,
+        kind: str = "thread",
         **pool_kwargs,
-    ) -> "ServerPool":
+    ):
         """Build-if-needed and open a sharded serving pool over the RR index.
 
-        The serving-tier benchmarks (thread sweeps, replay runs) go
-        through here so they share the memoised index build with every
-        other experiment.  ``pool_kwargs`` pass through to
-        :class:`~repro.core.server.ServerPool`.
+        The serving-tier benchmarks (thread/process sweeps, replay runs)
+        go through here so they share the memoised index build with
+        every other experiment.  ``kind`` selects the worker model:
+        ``"thread"`` opens a :class:`~repro.core.server.ServerPool`
+        (N readers in this process, one shared buffer pool),
+        ``"process"`` a
+        :class:`~repro.core.process_pool.ProcessServerPool` (N worker
+        processes, GIL-free warm serving).  ``pool_kwargs`` pass through
+        to the chosen pool class.
+
+        Raises
+        ------
+        ValueError
+            On an unknown ``kind``.
         """
+        from repro.core.process_pool import ProcessServerPool
         from repro.core.server import ServerPool
 
         self.build_index(dataset, kind="rr")
-        return ServerPool(
-            self.index_path(dataset, kind="rr"),
-            n_workers=n_workers,
-            **pool_kwargs,
-        )
+        path = self.index_path(dataset, kind="rr")
+        if kind == "thread":
+            return ServerPool(path, n_workers=n_workers, **pool_kwargs)
+        if kind == "process":
+            return ProcessServerPool(path, n_workers=n_workers, **pool_kwargs)
+        raise ValueError(f"unknown server pool kind {kind!r}")
 
     def open_irr(
         self,

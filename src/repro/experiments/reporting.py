@@ -9,7 +9,7 @@ from __future__ import annotations
 import csv
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 __all__ = ["Table", "format_value"]
 

@@ -9,14 +9,12 @@ benches check.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.irr_index import IRRIndex
 from repro.core.query import KBTIMQuery
 from repro.core.ris import ris_query
-from repro.core.rr_index import RRIndex
 from repro.core.wris import wris_query
 from repro.datasets.synthetic import Dataset
 from repro.datasets.workload import make_workload
@@ -25,7 +23,7 @@ from repro.experiments.reporting import Table
 from repro.graph.stats import summarize
 from repro.propagation.simulate import estimate_spread
 from repro.storage.compression import Codec
-from repro.utils.rng import as_rng, optional_seed
+from repro.utils.rng import optional_seed
 
 __all__ = [
     "run_table2",

@@ -15,7 +15,6 @@ weighting function); the choice is recorded here once and used everywhere.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np

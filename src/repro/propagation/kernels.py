@@ -25,7 +25,7 @@ CSR form the coverage engine and the index builders consume directly.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -14,8 +14,6 @@ against).
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from repro.errors import StorageError

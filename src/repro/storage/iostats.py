@@ -45,6 +45,22 @@ class IOStats:
         default_factory=threading.Lock, repr=False, compare=False
     )
 
+    def __getstate__(self) -> dict:
+        """Pickle support: counters travel, the lock does not.
+
+        The serving tier ships :class:`IOStats` snapshots across process
+        boundaries (inside per-query ``QueryStats``), and a
+        ``threading.Lock`` cannot be pickled.  The receiving side gets a
+        fresh lock, so the copy is independently mutation-safe.
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def record_read(self, *, pages_read: int, pages_hit: int, nbytes: int) -> None:
         """Account one logical read of ``nbytes`` touching pages."""
         with self._lock:
@@ -102,13 +118,15 @@ class IOStats:
         )
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.read_calls = 0
-        self.pages_read = 0
-        self.pages_hit = 0
-        self.bytes_read = 0
-        self.write_calls = 0
-        self.bytes_written = 0
+        """Zero all counters (atomically: a racing record keeps the
+        counter set consistent — all zeroed, then the record applies)."""
+        with self._lock:
+            self.read_calls = 0
+            self.pages_read = 0
+            self.pages_hit = 0
+            self.bytes_read = 0
+            self.write_calls = 0
+            self.bytes_written = 0
 
     @property
     def hit_ratio(self) -> float:

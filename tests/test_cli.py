@@ -224,3 +224,66 @@ class TestVerifyAndExtract:
             == 1
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestReplay:
+    def _replay_args(self, rr_index, profiles, pool):
+        return [
+            "replay",
+            "--index", rr_index,
+            "--profiles", profiles,
+            "--pool", pool,
+            "--workers", "2",
+            "--threads", "2",
+            "--n-queries", "10",
+            "--lengths", "1,2",
+            "--ks", "3,5",
+            "--seed", "9",
+        ]
+
+    def test_replay_thread_pool_text(self, rr_index, dataset_files, capsys):
+        _graph, profiles = dataset_files
+        code = main(self._replay_args(rr_index, profiles, "thread") + ["--warm"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed-loop replay" in out
+        assert "q/s" in out and "hit ratio" in out
+
+    def test_replay_process_pool_json(self, rr_index, dataset_files, capsys):
+        _graph, profiles = dataset_files
+        code = main(
+            self._replay_args(rr_index, profiles, "process") + ["--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pool"] == "process"
+        assert payload["queries"] == 10
+        assert payload["qps"] > 0
+        assert payload["p95_ms"] >= payload["p50_ms"]
+
+    def test_replay_open_loop(self, rr_index, dataset_files, capsys):
+        _graph, profiles = dataset_files
+        code = main(
+            self._replay_args(rr_index, profiles, "thread")
+            + ["--rate", "500", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "open"
+
+    def test_replay_missing_index_is_clean_error(self, dataset_files, capsys):
+        _graph, profiles = dataset_files
+        code = main(self._replay_args("/nonexistent.rr", profiles, "process"))
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_bad_worker_count_is_clean_error(
+        self, rr_index, dataset_files, capsys
+    ):
+        """Library-layer ValueErrors (check_positive_int) follow the
+        one-line `error:` contract instead of leaking a traceback."""
+        _graph, profiles = dataset_files
+        args = self._replay_args(rr_index, profiles, "thread")
+        args[args.index("--workers") + 1] = "0"
+        assert main(args) == 1
+        assert "error:" in capsys.readouterr().err

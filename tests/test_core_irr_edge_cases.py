@@ -1,6 +1,5 @@
 """Edge-case tests for the IRR NRA query loop (Algorithm 4 corners)."""
 
-import numpy as np
 import pytest
 
 from repro.core.irr_index import IRRIndex, IRRIndexBuilder

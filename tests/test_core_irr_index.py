@@ -204,7 +204,7 @@ class TestTheorem3:
         rr_path, irr_path = indexes
         query = KBTIMQuery(("music", "book"), 3)
         with RRIndex(rr_path) as rr, IRRIndex(irr_path) as irr:
-            a = rr.query(query)
+            rr.query(query)  # same workload on both readers
             b = irr.query(query)
         # IRR may load the whole thing in the worst case, but never more
         # RR sets than exist, and typically fewer than RR's full prefix.

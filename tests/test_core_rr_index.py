@@ -5,18 +5,15 @@ import json
 import numpy as np
 import pytest
 
-from repro.core.offline import sample_keyword_tables
 from repro.core.query import KBTIMQuery
 from repro.core.rr_index import (
     RRIndex,
     RRIndexBuilder,
     plan_theta_q,
-    build_keyword_meta,
 )
 from repro.core.theta import ThetaPolicy
 from repro.core.wris import wris_query
 from repro.errors import CorruptIndexError, IndexError_, QueryError
-from repro.storage.compression import Codec
 from repro.storage.segments import SegmentWriter
 
 

@@ -9,7 +9,6 @@ from repro.core.sampler import (
     sample_uniform_roots,
     sample_weighted_roots,
 )
-from repro.datasets.paper_example import paper_example_graph
 from repro.propagation.exact import exact_spread
 from repro.propagation.ic import IndependentCascade
 

@@ -1,6 +1,5 @@
 """Tests for the online solvers: WRIS (Section 3.2) and RIS baseline."""
 
-import numpy as np
 import pytest
 
 from repro.core.query import KBTIMQuery
@@ -8,7 +7,6 @@ from repro.core.ris import ris_query
 from repro.core.theta import ThetaPolicy
 from repro.core.wris import wris_query
 from repro.datasets.paper_example import (
-    NODE_IDS,
     paper_example_graph,
     paper_example_profiles,
 )

@@ -1,6 +1,5 @@
 """Tests for dataset builders and the paper-example fixture."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.paper_example import (

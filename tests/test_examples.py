@@ -9,7 +9,6 @@ time budgets.
 import os
 import py_compile
 import runpy
-import sys
 
 import pytest
 

@@ -6,7 +6,6 @@ satisfy the qualitative relationships EXPERIMENTS.md asserts.
 
 import os
 
-import numpy as np
 import pytest
 
 from repro.experiments.harness import ExperimentContext, ExperimentScale

@@ -1,6 +1,5 @@
 """Tests for the CSR digraph (repro.graph.digraph)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -9,7 +9,6 @@ index files and require clean :class:`~repro.errors.CorruptIndexError` /
 import json
 import os
 
-import numpy as np
 import pytest
 
 from repro.core.irr_index import IRRIndex, IRRIndexBuilder

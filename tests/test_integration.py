@@ -6,7 +6,6 @@ targeted answers differ from untargeted ones, and every propagation model
 flows through the same machinery.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.irr_index import IRRIndex, IRRIndexBuilder

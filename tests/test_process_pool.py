@@ -1,0 +1,442 @@
+"""Process-level serving workers (repro.core.process_pool, PR 5).
+
+Four guarantees are pinned here:
+
+* The request/response path is picklable: queries, ``QueryStats`` /
+  ``IOStats`` / ``ServerStats`` snapshots all cross a process boundary
+  and come back mutation-safe (fresh locks) and value-identical.
+* ``ProcessServerPool`` answers are bit-identical to a sequential
+  ``RRIndex.query`` / ``KBTIMServer`` run and to the thread
+  ``ServerPool`` — caches on and off — with *exact* per-query I/O
+  accounting (per-query deltas sum to the pool's physical total).
+* Merged stats aggregate correctly across worker processes, and
+  warm/evict fan-out lands on the owning shard.
+* A dead worker surfaces a clear :class:`~repro.errors.ServerError`
+  (naming the worker and exit code) instead of a hang, while other
+  shards keep serving.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.process_pool import ProcessServerPool
+from repro.core.query import KBTIMQuery
+from repro.core.rr_index import RRIndex, RRIndexBuilder
+from repro.core.server import ServerPool, ServerStats, shard_of_keyword
+from repro.core.theta import ThetaPolicy
+from repro.datasets.workload import make_mixed_workload, replay
+from repro.errors import (
+    CorruptIndexError,
+    IndexError_,
+    QueryError,
+    ServerError,
+)
+from repro.storage.iostats import IOStats
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    from repro.graph.generators import twitter_like
+    from repro.profiles.generators import zipf_profiles
+    from repro.profiles.topics import TopicSpace
+    from repro.propagation.ic import IndependentCascade
+
+    graph = twitter_like(300, avg_degree=8, rng=51)
+    profiles = zipf_profiles(graph.n, TopicSpace.default(8), rng=52)
+    model = IndependentCascade(graph)
+    path = str(tmp_path_factory.mktemp("procpool") / "p.rr")
+    RRIndexBuilder(
+        model, profiles, policy=ThetaPolicy(epsilon=1.0, K=30, cap=200), rng=53
+    ).build(path)
+    return path, profiles
+
+
+@pytest.fixture(scope="module")
+def workload(setup):
+    _path, profiles = setup
+    return make_mixed_workload(
+        profiles, n_queries=20, lengths=(1, 2, 3), ks=(3, 8), rng=54
+    )
+
+
+@pytest.fixture(scope="module")
+def expected(setup, workload):
+    path, _profiles = setup
+    with RRIndex(path) as index:
+        return [index.query(q) for q in workload]
+
+
+def _assert_same_selection(a, b):
+    assert a.seeds == b.seeds
+    assert a.marginal_coverages == b.marginal_coverages
+    assert a.theta == b.theta
+    assert a.phi_q == pytest.approx(b.phi_q)
+
+
+class TestPicklableBoundary:
+    """The types that ride the worker pipe survive pickling."""
+
+    def test_iostats_roundtrip_with_fresh_lock(self):
+        io = IOStats()
+        io.record_read(pages_read=3, pages_hit=1, nbytes=256)
+        io.record_write(64)
+        copy = pickle.loads(pickle.dumps(io))
+        assert copy.read_calls == 1
+        assert copy.pages_read == 3
+        assert copy.pages_hit == 1
+        assert copy.bytes_read == 256
+        assert copy.bytes_written == 64
+        copy.record_read(pages_read=1, pages_hit=0, nbytes=8)  # lock works
+        assert copy.read_calls == 2
+        assert io.read_calls == 1  # the copy is detached
+
+    def test_server_stats_snapshot_roundtrip(self):
+        stats = ServerStats(latency_window=4)
+        for i in range(6):
+            stats.record_query(float(i))
+        stats.record_keyword_hit()
+        stats.record_keyword_miss()
+        stats.record_warm_load()
+        copy = pickle.loads(pickle.dumps(stats.snapshot()))
+        assert copy.queries == 6
+        assert copy.keyword_hits == 1
+        assert copy.keyword_misses == 1
+        assert copy.warm_loads == 1
+        assert sorted(copy.latencies) == [2.0, 3.0, 4.0, 5.0]
+        copy.record_query(9.0)  # fresh RLock works
+        assert stats.queries == 6  # detached
+
+    def test_server_stats_zero_window_snapshot(self):
+        stats = ServerStats(latency_window=0)
+        stats.record_query(1.0)
+        copy = pickle.loads(pickle.dumps(stats.snapshot()))
+        assert copy.queries == 1
+        assert copy.latencies == ()
+
+    def test_query_pickles_through_constructor(self):
+        query = KBTIMQuery(("music", 3), 5)
+        cls, args = query.__reduce__()
+        assert cls is KBTIMQuery  # unpickling re-validates
+        copy = pickle.loads(pickle.dumps(query))
+        assert copy.keywords == ("music", 3)
+        assert copy.k == 5
+
+    def test_seed_selection_roundtrip(self, setup):
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            answer = index.query(KBTIMQuery(("music", "book"), 4))
+        copy = pickle.loads(pickle.dumps(answer))
+        _assert_same_selection(copy, answer)
+        assert copy.stats.io.read_calls == answer.stats.io.read_calls
+        assert copy.stats.io.bytes_read == answer.stats.io.bytes_read
+
+
+class TestCorrectness:
+    def test_matches_direct_index_query(self, setup, workload, expected):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=3) as pool:
+            for query, want in zip(workload, expected):
+                _assert_same_selection(pool.query(query), want)
+
+    def test_matches_thread_pool_caches_off(self, setup, workload):
+        """Same config, same dispatch: answers *and* per-query I/O equal."""
+        path, _profiles = setup
+        with ServerPool(path, n_workers=3, prefix_cache_keywords=0) as tpool:
+            thread_answers = [tpool.query(q) for q in workload]
+        with ProcessServerPool(
+            path, n_workers=3, prefix_cache_keywords=0
+        ) as ppool:
+            process_answers = [ppool.query(q) for q in workload]
+        for a, b in zip(thread_answers, process_answers):
+            _assert_same_selection(a, b)
+            assert a.stats.io.read_calls == b.stats.io.read_calls
+            assert a.stats.io.bytes_read == b.stats.io.bytes_read
+
+    def test_batch_matches_sequential(self, setup, workload, expected):
+        path, _profiles = setup
+        for concurrent in (False, True):
+            with ProcessServerPool(path, n_workers=3) as pool:
+                got = pool.query_batch(workload, concurrent=concurrent)
+            assert len(got) == len(expected)
+            for a, b in zip(expected, got):
+                _assert_same_selection(a, b)
+
+    def test_batch_matches_sequential_caches_off(self, setup, workload, expected):
+        path, _profiles = setup
+        with ProcessServerPool(
+            path, n_workers=4, prefix_cache_keywords=0
+        ) as pool:
+            got = pool.query_batch(workload)
+        for a, b in zip(expected, got):
+            _assert_same_selection(a, b)
+
+    def test_dispatch_parity_with_thread_pool(self, setup, workload):
+        path, _profiles = setup
+        with ServerPool(path, n_workers=4) as tpool:
+            with ProcessServerPool(path, n_workers=4) as ppool:
+                for query in workload:
+                    assert ppool.shard_of(query) == tpool.shard_of(query)
+
+    def test_id_refs_dispatch_like_names(self, setup):
+        path, _profiles = setup
+        with RRIndex(path) as index:
+            pairs = [
+                (meta.topic_id, name) for name, meta in index.catalog.items()
+            ]
+        with ProcessServerPool(path, n_workers=4) as pool:
+            for topic_id, name in pairs:
+                assert pool.shard_of(KBTIMQuery((topic_id,), 1)) == pool.shard_of(
+                    KBTIMQuery((name,), 1)
+                )
+            with pytest.raises(IndexError_):
+                pool.shard_of(KBTIMQuery((10_000,), 1))
+
+    def test_error_types_cross_the_boundary(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=2) as pool:
+            with pytest.raises(QueryError):
+                pool.query(KBTIMQuery(("music",), 999))  # over budget
+            with pytest.raises(IndexError_):
+                pool.query(KBTIMQuery(("nosuchtopic",), 2))  # unknown
+            with pytest.raises(QueryError):
+                # mixed-form duplicate: id 3 next to the name it resolves to
+                with RRIndex(path) as index:
+                    name = index._resolve(3)
+                pool.query(KBTIMQuery((3, name), 2))
+            # the worker survives its own exceptions and keeps serving
+            answer = pool.query(KBTIMQuery(("music",), 3))
+            assert answer.seeds
+
+    def test_empty_batch(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=2) as pool:
+            assert pool.query_batch([]) == []
+            assert pool.stats.queries == 0
+
+
+class TestStatsAccounting:
+    def test_merged_stats_sum_across_workers(self, setup, workload):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=3) as pool:
+            pool.query_batch(workload)
+            per_worker = pool.worker_stats()
+            merged = pool.stats
+            assert merged.queries == len(workload)
+            assert merged.queries == sum(w.queries for w in per_worker)
+            assert merged.keyword_hits == sum(w.keyword_hits for w in per_worker)
+            assert merged.keyword_misses == sum(
+                w.keyword_misses for w in per_worker
+            )
+            touches = sum(q.n_keywords for q in workload)
+            assert merged.keyword_hits + merged.keyword_misses == touches
+            assert len(merged.latencies) == len(workload)
+            assert merged.mean_latency > 0
+            assert merged.percentile_latency(95) >= merged.percentile_latency(5)
+
+    def test_per_query_io_sums_to_pool_physical_total(self, setup, workload):
+        """Exact accounting across process boundaries: the per-query
+        ``QueryStats.io`` deltas partition the pool's physical I/O."""
+        path, _profiles = setup
+        with ProcessServerPool(
+            path, n_workers=3, prefix_cache_keywords=0
+        ) as pool:
+            base = pool.io_stats  # catalog/header reads at open
+            answers = [pool.query(q) for q in workload]
+            total = pool.io_stats
+        attributed_reads = sum(a.stats.io.read_calls for a in answers)
+        attributed_bytes = sum(a.stats.io.bytes_read for a in answers)
+        assert attributed_reads == total.read_calls - base.read_calls
+        assert attributed_bytes == total.bytes_read - base.bytes_read
+        assert attributed_reads > 0
+
+    def test_cold_misses_read_twice_per_keyword(self, setup):
+        """The seed cost model survives the process hop: a cold keyword
+        load is exactly 2 logical reads (RR prefix + inverted lists)."""
+        path, _profiles = setup
+        query = KBTIMQuery(("music", "book"), 3)
+        with ProcessServerPool(
+            path, n_workers=1, prefix_cache_keywords=0
+        ) as pool:
+            base = pool.io_stats
+            answer = pool.query(query)
+            delta = pool.io_stats.read_calls - base.read_calls
+        assert delta == 2 * query.n_keywords
+        assert answer.stats.io.read_calls == delta
+
+    def test_warm_lands_on_owning_shard(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=4) as pool:
+            pool.warm(["music", "book"])
+            per_worker = pool.worker_stats()
+            assert sum(w.warm_loads for w in per_worker) == 2
+            assert sum(w.keyword_misses for w in per_worker) == 0
+            cached = pool.worker_cached_keywords()
+            for kw in ("music", "book"):
+                shard = shard_of_keyword(kw, pool.n_workers)
+                assert kw in cached[shard]
+                assert pool.shard_of(KBTIMQuery((kw,), 1)) == shard
+
+    def test_evict_all_drops_every_worker_cache(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=2) as pool:
+            pool.query(KBTIMQuery(("music",), 2))
+            pool.evict_all()
+            assert all(not kws for kws in pool.worker_cached_keywords())
+            base = pool.io_stats
+            pool.query(KBTIMQuery(("music",), 2))
+            assert pool.io_stats.read_calls > base.read_calls  # really re-reads
+
+
+def _raise_on_unpickle():
+    raise QueryError("poison payload rejected on arrival")
+
+
+class _PoisonQuery:
+    """Pickles fine, but explodes during *unpickling* in the worker —
+    the shape of a tampered or version-skewed payload that fails
+    KBTIMQuery's constructor re-validation."""
+
+    def __reduce__(self):
+        return (_raise_on_unpickle, ())
+
+
+class TestRequestLevelFailures:
+    def test_unpicklable_payload_does_not_kill_worker(self, setup):
+        """A payload that fails re-validation on arrival is a request
+        error shipped back to the caller; the shard keeps serving."""
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=1) as pool:
+            with pytest.raises(QueryError, match="poison"):
+                pool._workers[0].request("query", _PoisonQuery())
+            assert pool.worker_alive(0)
+            answer = pool.query(KBTIMQuery(("music",), 3))
+            assert answer.seeds
+
+
+class TestWorkerDeath:
+    def test_dead_worker_raises_clear_error_not_hang(self, setup):
+        path, _profiles = setup
+        query = KBTIMQuery(("music",), 3)
+        with ProcessServerPool(path, n_workers=3) as pool:
+            victim = pool.shard_of(query)
+            pool._workers[victim].process.kill()
+            pool._workers[victim].process.join(timeout=5.0)
+            with pytest.raises(ServerError) as excinfo:
+                pool.query(query)
+            message = str(excinfo.value)
+            assert f"worker {victim}" in message
+            assert "died" in message
+            assert not pool.worker_alive(victim)
+            # Other shards keep serving.
+            survivor = next(
+                kw
+                for kw in ("book", "journal", "car", "travel", "food", "software")
+                if shard_of_keyword(kw, pool.n_workers) != victim
+            )
+            assert pool.query(KBTIMQuery((survivor,), 2)).seeds
+            # And the dead shard fails fast again (no hang on retry).
+            with pytest.raises(ServerError):
+                pool.query(query)
+
+    def test_dead_worker_fails_batch(self, setup, workload):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=2) as pool:
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=5.0)
+            with pytest.raises(ServerError):
+                pool.query_batch(workload)
+
+    def test_close_after_death_is_clean(self, setup):
+        path, _profiles = setup
+        pool = ProcessServerPool(path, n_workers=2)
+        for handle in pool._workers:
+            handle.process.kill()
+        pool.close()  # must not raise or hang
+        with pytest.raises(ServerError):
+            pool.query(KBTIMQuery(("music",), 2))
+
+
+class TestLifecycle:
+    def test_context_manager_and_double_close(self, setup):
+        path, _profiles = setup
+        pool = ProcessServerPool(path, n_workers=2)
+        with pool:
+            assert len(pool.pids) == 2
+            assert all(isinstance(pid, int) for pid in pool.pids)
+        pool.close()  # idempotent
+        with pytest.raises(ServerError):
+            pool.warm(["music"])
+
+    def test_workers_reaped_on_close(self, setup):
+        path, _profiles = setup
+        pool = ProcessServerPool(path, n_workers=2)
+        processes = [handle.process for handle in pool._workers]
+        pool.close()
+        assert all(not process.is_alive() for process in processes)
+
+    def test_bad_worker_count_rejected(self, setup):
+        path, _profiles = setup
+        with pytest.raises(ValueError):
+            ProcessServerPool(path, n_workers=0)
+
+    def test_corrupt_path_fails_in_parent(self, tmp_path):
+        bogus = tmp_path / "not-an-index.rr"
+        bogus.write_bytes(b"this is not an index file at all, sorry")
+        with pytest.raises(CorruptIndexError):
+            ProcessServerPool(str(bogus), n_workers=2)
+
+    def test_spawn_start_method(self, setup):
+        """The picklable protocol works under spawn (fresh interpreter)."""
+        path, _profiles = setup
+        with ProcessServerPool(
+            path, n_workers=1, start_method="spawn"
+        ) as pool:
+            assert pool.start_method == "spawn"
+            answer = pool.query(KBTIMQuery(("music",), 3))
+        with RRIndex(path) as index:
+            _assert_same_selection(answer, index.query(KBTIMQuery(("music",), 3)))
+
+
+class TestReplayIntegration:
+    def test_replay_threads_over_process_pool(self, setup, workload, expected):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=2) as pool:
+            report = replay(pool, workload, threads=4)
+        assert report.n_queries == len(workload)
+        assert report.qps > 0
+        for got, want in zip(report.results, expected):
+            _assert_same_selection(got, want)
+
+    def test_harness_opens_process_pool(self, tmp_path):
+        from repro.experiments.harness import ExperimentContext, ExperimentScale
+
+        with ExperimentContext(
+            ExperimentScale.smoke(), workdir=str(tmp_path)
+        ) as ctx:
+            ds = ctx.default_dataset("twitter")
+            with ctx.open_server_pool(ds, n_workers=2, kind="process") as pool:
+                assert isinstance(pool, ProcessServerPool)
+                stats = pool.stats
+                assert stats.queries == 0
+            with ctx.open_server_pool(ds, n_workers=2) as pool:
+                assert isinstance(pool, ServerPool)
+            with pytest.raises(ValueError):
+                ctx.open_server_pool(ds, kind="fiber")
+
+
+class TestIOStatsReset:
+    def test_reset_is_atomic_under_the_lock(self):
+        """reset() takes the counter lock (the serving tier records from
+        other threads; a lock-free reset could tear the counter set)."""
+        io = IOStats()
+        io.record_read(pages_read=2, pages_hit=1, nbytes=64)
+        io.reset()
+        assert (io.read_calls, io.pages_read, io.pages_hit, io.bytes_read) == (
+            0,
+            0,
+            0,
+            0,
+        )
+        io.record_read(pages_read=1, pages_hit=0, nbytes=8)  # lock re-usable
+        assert io.read_calls == 1

@@ -138,7 +138,8 @@ class TestMonotonicityAndSubmodularity:
 
     def test_submodular_marginal_gains(self, g):
         # f(S+v) - f(S) >= f(T+v) - f(T) for S ⊆ T, v ∉ T.
-        f = lambda s: exact_spread(g, s)
+        def f(s):
+            return exact_spread(g, s)
         small_gain = f([0, 3]) - f([0])
         large_gain = f([0, 1, 3]) - f([0, 1])
         assert small_gain >= large_gain - 1e-12
