@@ -21,9 +21,15 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.chaos import ChaosController, FaultEvent, FaultPlan
 from repro.core.rr_index import RRIndex
 from repro.core.server import KBTIMServer
-from repro.datasets.workload import make_mixed_workload, make_workload, replay
+from repro.datasets.workload import (
+    make_mixed_workload,
+    make_workload,
+    poisson_arrivals,
+    replay,
+)
 
 from conftest import emit
 from repro.experiments.reporting import Table
@@ -264,3 +270,86 @@ def test_pool_worker_sweep(ctx, mixed_setup, balanced_setup, benchmark, results_
         assert all(report.qps > 0 for _r, _k, _w, report, _h in points)
     # The perf narrative lives in BENCH_pr5.json; bit-identical answers
     # across pool kinds are regression-tested in tests/test_process_pool.py.
+
+
+def test_supervised_resilience(ctx, mixed_setup, benchmark, results_dir):
+    """Supervised pool under deterministic faults: restart/shed counters.
+
+    Two scenarios, one table row each, so the per-PR bench-smoke artifact
+    carries the robustness counters alongside the throughput numbers:
+
+    * ``kill-midstream`` — a :class:`FaultPlan` kills one worker halfway
+      through a closed-loop replay.  The supervisor must heal it on the
+      next request to that shard (``restarts >= 1``) with zero failed
+      queries, and the healing cost shows up in the latency columns.
+    * ``saturation-shed`` — open-loop Poisson arrivals far past capacity
+      against a tiny admission budget (``max_inflight=2``).  Excess load
+      is shed with typed errors instead of queueing, so the *admitted*
+      p99 stays bounded while ``sheds`` counts what was turned away.
+    """
+    ds, _path, base_queries = mixed_setup
+    rows = []
+
+    def run_scenarios():
+        rows.clear()
+        # --- kill-midstream: closed loop, one worker killed halfway ---
+        queries = base_queries
+        kill_at = len(queries) // 2
+        with ctx.open_server_pool(ds, n_workers=2, kind="supervised") as pool:
+            victim = pool.shard_of(queries[kill_at])
+            plan = FaultPlan(
+                events=[FaultEvent(kind="kill", after_query=kill_at, shard=victim)]
+            )
+            report = replay(
+                pool, queries, threads=2, chaos=ChaosController(plan, pool)
+            )
+            rows.append(("kill-midstream", report))
+        # --- saturation-shed: open loop far past capacity, tiny budget ---
+        saturated = base_queries * 5
+        arrivals = poisson_arrivals(len(saturated), 5000.0, rng=57)
+        with ctx.open_server_pool(
+            ds, n_workers=2, kind="supervised", max_inflight=2
+        ) as pool:
+            report = replay(
+                pool,
+                saturated,
+                threads=8,
+                arrivals=arrivals,
+                deadline=30.0,
+                tolerate_errors=True,
+            )
+            rows.append(("saturation-shed", report))
+
+    benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+
+    table = Table(
+        "Supervised pool: fault-injection counters (chaos replay)",
+        (
+            "scenario",
+            "queries",
+            "ok",
+            "failed",
+            "restarts",
+            "retries",
+            "sheds",
+            "goodput q/s",
+            "p99 admitted (ms)",
+        ),
+    )
+    for scenario, report in rows:
+        table.add_row(
+            scenario,
+            report.n_queries,
+            report.n_ok,
+            report.n_failed,
+            report.restarts,
+            report.retries,
+            report.sheds,
+            report.goodput_qps,
+            report.percentile_latency(99, admitted_only=True) * 1e3,
+        )
+    emit(table, results_dir, "server_supervised_resilience")
+    killed, shed = rows[0][1], rows[1][1]
+    assert killed.n_failed == 0 and killed.restarts >= 1  # healed, no losses
+    assert shed.sheds > 0 and shed.sheds == shed.n_failed  # shed, not queued
+    assert shed.percentile_latency(99, admitted_only=True) < 30.0

@@ -35,19 +35,25 @@ reproduced tables and figures.
 from repro.core import (
     DEFAULT_PARTITION_SIZE,
     BuildReport,
+    ChaosController,
     CoverageInstance,
+    FaultEvent,
+    FaultPlan,
     IRRIndex,
     IRRIndexBuilder,
     KBTIMQuery,
     KBTIMServer,
     KeywordMeta,
     KeywordTable,
+    PoolHealth,
     ProcessServerPool,
     QueryStats,
     RRIndex,
     RRIndexBuilder,
     SeedSelection,
     ServerPool,
+    ShardHealth,
+    SupervisedServerPool,
     ThetaPolicy,
     greedy_max_coverage,
     lazy_greedy_max_coverage,
@@ -57,12 +63,15 @@ from repro.core import (
 )
 from repro.errors import (
     CorruptIndexError,
+    DeadlineExceededError,
     EstimationError,
     GraphError,
+    OverloadedError,
     ProfileError,
     QueryError,
     ReproError,
     ServerError,
+    ShardUnavailableError,
     StorageError,
 )
 from repro.graph import (
@@ -106,6 +115,12 @@ __all__ = [
     "KBTIMServer",
     "ServerPool",
     "ProcessServerPool",
+    "SupervisedServerPool",
+    "ShardHealth",
+    "PoolHealth",
+    "FaultEvent",
+    "FaultPlan",
+    "ChaosController",
     "DEFAULT_PARTITION_SIZE",
     "BuildReport",
     "KeywordMeta",
@@ -149,4 +164,7 @@ __all__ = [
     "CorruptIndexError",
     "EstimationError",
     "ServerError",
+    "DeadlineExceededError",
+    "ShardUnavailableError",
+    "OverloadedError",
 ]

@@ -142,9 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument(
         "--pool",
-        choices=("thread", "process"),
+        choices=("thread", "process", "supervised"),
         default="thread",
-        help="worker model: threads in this process, or worker processes",
+        help=(
+            "worker model: threads in this process, worker processes, or "
+            "supervised worker processes (self-healing restarts, deadlines, "
+            "admission control)"
+        ),
     )
     rep.add_argument("--workers", type=int, default=4, help="pool shard count")
     rep.add_argument(
@@ -166,6 +170,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-load every keyword of the stream before measuring",
     )
     rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument(
+        "--timeout",
+        type=float,
+        help=(
+            "per-request deadline in seconds: enforced by process/supervised "
+            "pools, and used as the goodput SLA threshold in the report"
+        ),
+    )
+    rep.add_argument(
+        "--chaos",
+        metavar="PLAN.JSON",
+        help=(
+            "inject faults from a FaultPlan JSON file during the replay "
+            "(kill/delay/drop/exhaust/corrupt); failures are recorded per "
+            "query instead of aborting"
+        ),
+    )
+    rep.add_argument(
+        "--max-inflight",
+        type=int,
+        help=(
+            "admission-control budget for --pool supervised: beyond this "
+            "many in-flight requests the pool sheds load (Overloaded)"
+        ),
+    )
     rep.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
@@ -335,8 +364,12 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.chaos import ChaosController, FaultPlan, corrupt_index_copy
     from repro.core.process_pool import ProcessServerPool
     from repro.core.server import ServerPool
+    from repro.core.supervision import SupervisedServerPool
     from repro.datasets.workload import (
         make_mixed_workload,
         poisson_arrivals,
@@ -353,17 +386,66 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         ks=ks,
         rng=args.seed,
     )
-    pool_cls = ServerPool if args.pool == "thread" else ProcessServerPool
     arrivals = (
         poisson_arrivals(len(queries), args.rate, rng=args.seed)
         if args.rate is not None
         else None
     )
-    with pool_cls(args.index, n_workers=args.workers) as pool:
-        if args.warm:
-            pool.warm(sorted({kw for q in queries for kw in q.keywords}))
-        report = replay(pool, queries, threads=args.threads, arrivals=arrivals)
-        stats = pool.stats
+
+    plan = FaultPlan.load(args.chaos) if args.chaos else None
+    index_path = args.index
+    corrupted_copy = None
+    if plan is not None and plan.corrupt_events():
+        # At-open fault: serve a deterministically corrupted *copy* so
+        # the open fails with the typed CorruptIndexError (the original
+        # file is never touched).
+        corrupted_copy = args.index + ".chaos-corrupt"
+        corrupt_index_copy(args.index, corrupted_copy, seed=args.seed)
+        index_path = corrupted_copy
+
+    def open_pool():
+        if args.pool == "thread":
+            return ServerPool(index_path, n_workers=args.workers)
+        if args.pool == "process":
+            return ProcessServerPool(
+                index_path, n_workers=args.workers, request_timeout=args.timeout
+            )
+        return SupervisedServerPool(
+            index_path,
+            n_workers=args.workers,
+            request_timeout=args.timeout,
+            max_inflight=args.max_inflight,
+        )
+
+    try:
+        with open_pool() as pool:
+            if args.warm:
+                pool.warm(sorted({kw for q in queries for kw in q.keywords}))
+            chaos = ChaosController(plan, pool) if plan is not None else None
+            report = replay(
+                pool,
+                queries,
+                threads=args.threads,
+                arrivals=arrivals,
+                deadline=args.timeout,
+                chaos=chaos,
+                tolerate_errors=(
+                    True if (plan is not None or args.timeout) else None
+                ),
+            )
+            try:
+                hit_ratio = pool.stats.hit_ratio
+            except ReproError:
+                hit_ratio = None  # e.g. every shard of a bare pool died
+            health = (
+                pool.health().to_dict()
+                if isinstance(pool, SupervisedServerPool)
+                else None
+            )
+    finally:
+        if corrupted_copy is not None and os.path.exists(corrupted_copy):
+            os.unlink(corrupted_copy)
+
     payload = {
         "pool": args.pool,
         "workers": args.workers,
@@ -374,9 +456,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "p50_ms": report.percentile_latency(50) * 1e3,
         "p95_ms": report.percentile_latency(95) * 1e3,
         "p99_ms": report.percentile_latency(99) * 1e3,
+        "p99_admitted_ms": report.percentile_latency(99, admitted_only=True)
+        * 1e3,
         "mean_ms": report.mean_latency * 1e3,
-        "hit_ratio": stats.hit_ratio,
+        "hit_ratio": hit_ratio,
+        "deadline_s": args.timeout,
+        "goodput": report.goodput,
+        "goodput_qps": report.goodput_qps,
+        "failed": report.n_failed,
+        "restarts": report.restarts,
+        "retries": report.retries,
+        "sheds": report.sheds,
+        "fault_events": list(report.fault_events),
     }
+    if health is not None:
+        payload["health"] = health
     if args.json:
         print(json.dumps(payload))
     else:
@@ -388,7 +482,25 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"  {payload['qps']:.1f} q/s; p50 {payload['p50_ms']:.2f} ms, "
             f"p95 {payload['p95_ms']:.2f} ms, p99 {payload['p99_ms']:.2f} ms"
         )
-        print(f"  keyword-cache hit ratio: {payload['hit_ratio']:.2f}")
+        if hit_ratio is not None:
+            print(f"  keyword-cache hit ratio: {hit_ratio:.2f}")
+        if plan is not None or args.timeout:
+            print(
+                f"  goodput {payload['goodput']}/{payload['queries']} "
+                f"({payload['goodput_qps']:.1f} q/s); "
+                f"{payload['failed']} failed, {payload['sheds']} shed, "
+                f"{payload['restarts']} restarts, {payload['retries']} retries"
+            )
+        for event in report.fault_events:
+            print(
+                f"  fault @query {event['query']}: {event['kind']}"
+                + (
+                    f" shard {event['shard']}"
+                    if event.get("shard") is not None
+                    else ""
+                )
+                + f" -> {event['effect']}"
+            )
     return 0
 
 

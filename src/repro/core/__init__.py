@@ -8,6 +8,12 @@
   :class:`~repro.core.irr_index.IRRIndex` — incremental index (Section 5).
 """
 
+from repro.core.chaos import (
+    ChaosController,
+    FaultEvent,
+    FaultPlan,
+    corrupt_index_copy,
+)
 from repro.core.coverage import (
     CoverageInstance,
     greedy_max_coverage,
@@ -27,6 +33,7 @@ from repro.core.results import QueryStats, SeedSelection
 from repro.core.ris import ris_query
 from repro.core.rr_index import BuildReport, KeywordMeta, RRIndex, RRIndexBuilder
 from repro.core.server import KBTIMServer, ServerPool, ServerStats
+from repro.core.supervision import PoolHealth, ShardHealth, SupervisedServerPool
 from repro.core.sampler import (
     mean_rr_set_size,
     sample_rr_sets,
@@ -64,7 +71,14 @@ __all__ = [
     "KBTIMServer",
     "ServerPool",
     "ProcessServerPool",
+    "SupervisedServerPool",
+    "ShardHealth",
+    "PoolHealth",
     "ServerStats",
+    "FaultEvent",
+    "FaultPlan",
+    "ChaosController",
+    "corrupt_index_copy",
     "verify_index",
     "extract_keywords",
     "IndexCheckReport",

@@ -41,6 +41,7 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.query import KBTIMQuery, KeywordRef
@@ -51,7 +52,12 @@ from repro.core.server import (
     _sharded_batch,
     shard_of_keyword,
 )
-from repro.errors import CorruptIndexError, IndexError_, ServerError
+from repro.errors import (
+    CorruptIndexError,
+    DeadlineExceededError,
+    IndexError_,
+    ServerError,
+)
 from repro.storage.iostats import IOStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE
 from repro.storage.segments import SegmentReader
@@ -106,6 +112,25 @@ def _worker_main(conn, path: str, worker_id: int, config: dict) -> None:
             if method == "shutdown":
                 _send_result(conn, "ok", None)
                 break
+            if method == "_chaos":
+                # Deterministic fault-injection primitives (repro.core.chaos).
+                # Only ever issued by a chaos controller, never by serving
+                # traffic: "sleep" stalls the reply (deadline-miss fault),
+                # "drop" consumes a request without ever answering it, and
+                # "exit" simulates a crash from inside the worker.
+                action, arg = payload
+                if action == "sleep":
+                    time.sleep(float(arg))
+                    _send_result(conn, "ok", arg)
+                elif action == "drop":
+                    pass  # no reply: the parent's deadline must fire
+                elif action == "exit":
+                    os._exit(int(arg))
+                else:
+                    _send_result(
+                        conn, "err", ServerError(f"unknown chaos action {action!r}")
+                    )
+                continue
             try:
                 result = _dispatch(server, method, payload)
             except BaseException as exc:
@@ -180,6 +205,12 @@ class _WorkerHandle:
         self.pid: Optional[int] = None
         self.lock = threading.Lock()
         self.closed = False
+        #: Set when a request timed out: the worker's (possibly still
+        #: coming) reply is unclaimed, so the pipe is no longer a strict
+        #: request/response channel.  Every later request fails fast
+        #: until the worker is restarted — a late reply must never be
+        #: delivered as the answer to a *different* request.
+        self.poisoned = False
 
     def handshake(self, timeout: float) -> None:
         """Wait for the worker's startup acknowledgement."""
@@ -200,6 +231,8 @@ class _WorkerHandle:
                 raise ServerError(
                     f"server worker {self.worker_id} is closed (pool shut down)"
                 )
+            if self.poisoned:
+                raise self._poisoned_error()
             try:
                 self.conn.send((method, payload))
             except (BrokenPipeError, OSError):
@@ -212,14 +245,29 @@ class _WorkerHandle:
     def _recv(self, *, timeout: Optional[float], starting: bool = False):
         try:
             if timeout is not None and not self.conn.poll(timeout):
-                raise ServerError(
+                # The request is still in flight inside the worker.  Its
+                # reply, whenever it lands, belongs to no one: poison the
+                # handle so no later request can mistake it for its own
+                # answer.  Supervision restarts poisoned workers.
+                self.poisoned = True
+                raise DeadlineExceededError(
                     f"server worker {self.worker_id} (pid {self.pid}) did not "
                     f"answer within {timeout:.1f}s"
                     + (" during startup" if starting else "")
+                    + "; the worker pipe is now poisoned (a stale reply may "
+                    "be in flight) — restart the worker to resynchronize"
                 )
             return self.conn.recv()
         except (EOFError, OSError):
             raise self._death() from None
+
+    def _poisoned_error(self) -> ServerError:
+        """The fail-fast error for a pipe with an unclaimed reply in flight."""
+        return ServerError(
+            f"server worker {self.worker_id} (pid {self.pid}) pipe is "
+            "poisoned after a deadline miss; a stale reply may be in "
+            "flight — restart the worker (restart_worker) to resynchronize"
+        )
 
     def _death(self) -> ServerError:
         """A diagnosis-bearing error for a worker that stopped talking."""
@@ -230,24 +278,38 @@ class _WorkerHandle:
         )
         return ServerError(
             f"server worker {self.worker_id} (pid {self.pid}) died "
-            f"unexpectedly ({detail}); its shard is unavailable — rebuild "
-            "the pool to restore it"
+            f"unexpectedly ({detail}); its shard is unavailable — restart "
+            "the worker (restart_worker) or rebuild the pool to restore it"
         )
 
     def shutdown(self, join_timeout: float = 5.0) -> None:
-        """Polite stop, escalating to terminate; always reaps the process."""
+        """Polite stop, escalating to terminate; always reaps the process.
+
+        The handle lock is held only across the ``closed`` flip and the
+        pipe send — *not* across the reply wait or the process join —
+        so a concurrent ``request()`` on another shard-dispatch thread
+        observes ``closed`` promptly instead of stalling behind a
+        blocking join.
+        """
         with self.lock:
             if self.closed:
                 return
             self.closed = True
-            try:
-                self.conn.send(("shutdown", None))
-                if self.conn.poll(join_timeout):
-                    self.conn.recv()
-            except (BrokenPipeError, EOFError, OSError):
-                pass
-            finally:
-                self.conn.close()
+            send_failed = self.poisoned  # a poisoned pipe may never reply
+            if not send_failed:
+                try:
+                    self.conn.send(("shutdown", None))
+                except (BrokenPipeError, OSError):
+                    send_failed = True
+        # The worker can no longer be addressed (closed is set), so the
+        # drain + join happen outside the lock.
+        try:
+            if not send_failed and self.conn.poll(join_timeout):
+                self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            pass
+        finally:
+            self.conn.close()
         self.process.join(timeout=join_timeout)
         if self.process.is_alive():
             self.process.terminate()
@@ -346,7 +408,7 @@ class ProcessServerPool:
         index_kwargs: Dict[str, object] = dict(page_size=page_size)
         if prefix_cache_keywords is not None:
             index_kwargs["prefix_cache_keywords"] = prefix_cache_keywords
-        config = {
+        self._config = {
             "index_kwargs": index_kwargs,
             "cache_keywords": cache_keywords,
             "pool_pages": check_positive_int("pool_pages", pool_pages),
@@ -355,29 +417,63 @@ class ProcessServerPool:
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
-        ctx = multiprocessing.get_context(start_method)
+        self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
 
         workers: List[_WorkerHandle] = []
         try:
             for worker_id in range(self.n_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, self.path, worker_id, config),
-                    name=f"kbtim-server-{worker_id}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()  # the worker owns its end now
-                workers.append(_WorkerHandle(worker_id, process, parent_conn))
+                workers.append(self._start_worker(worker_id))
             for handle in workers:
                 handle.handshake(_STARTUP_TIMEOUT)
         except BaseException:
             for handle in workers:
                 handle.shutdown(join_timeout=1.0)
             raise
-        self._workers = tuple(workers)
+        self._workers: List[_WorkerHandle] = workers
+
+    def _start_worker(self, worker_id: int) -> _WorkerHandle:
+        """Spawn one worker process (handshake is the caller's job)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.path, worker_id, self._config),
+            name=f"kbtim-server-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns its end now
+        return _WorkerHandle(worker_id, process, parent_conn)
+
+    def restart_worker(self, shard: int) -> None:
+        """Replace one shard's worker with a freshly spawned process.
+
+        The mechanism behind
+        :class:`~repro.core.supervision.SupervisedServerPool`'s
+        self-healing (and behind manual rolling restarts): the old
+        handle is shut down — politely if its pipe is still framed,
+        by terminate if the process is dead, hung, or poisoned — and a
+        fresh worker is spawned, handshaked and swapped in.  The new
+        worker starts with cold caches; answers stay bit-identical
+        because every worker serves the same immutable file.
+
+        Raises
+        ------
+        ServerError
+            If the pool is closed, or the replacement worker fails its
+            startup handshake (the shard is then left with the dead
+            handle — a later restart attempt may still succeed).
+        """
+        self._check_open()
+        old = self._workers[shard]
+        old.shutdown(join_timeout=1.0)
+        handle = self._start_worker(shard)
+        try:
+            handle.handshake(_STARTUP_TIMEOUT)
+        except BaseException:
+            handle.shutdown(join_timeout=1.0)
+            raise
+        self._workers[shard] = handle
 
     @staticmethod
     def _load_topic_names(path: str, page_size: int) -> Dict[int, str]:
@@ -487,7 +583,10 @@ class ProcessServerPool:
         """Pre-load each keyword on the worker process that owns it.
 
         Grouped fan-out: one request per populated shard.  Counted under
-        each worker's ``warm_loads``, exactly like the thread pool.
+        each worker's ``warm_loads``, exactly like the thread pool.  A
+        dead shard does not abort the fan-out: every *surviving* shard
+        is still warmed, and the failure surfaces afterwards as one
+        :class:`~repro.errors.ServerError` naming the dead shard(s).
 
         Raises
         ------
@@ -495,6 +594,9 @@ class ProcessServerPool:
             If a keyword name is not in the index.
         IndexError_
             If a topic id is unknown.
+        ServerError
+            If any owning shard's worker has died (raised after the
+            surviving shards were warmed).
         """
         self._check_open()
         by_shard: Dict[int, List[str]] = {}
@@ -503,14 +605,51 @@ class ProcessServerPool:
             by_shard.setdefault(shard_of_keyword(name, self.n_workers), []).append(
                 name
             )
-        for shard, names in sorted(by_shard.items()):
-            self._workers[shard].request("warm", names, timeout=self.request_timeout)
+        self._fanout(
+            [
+                (shard, "warm", names)
+                for shard, names in sorted(by_shard.items())
+            ]
+        )
 
     def evict_all(self) -> None:
-        """Drop every worker's cached blocks and decoded prefixes."""
+        """Drop every worker's cached blocks and decoded prefixes.
+
+        Like :meth:`warm`, a dead shard does not stop the fan-out:
+        every surviving worker's caches are dropped first, then one
+        :class:`~repro.errors.ServerError` naming the dead shard(s) is
+        raised.
+        """
         self._check_open()
-        for handle in self._workers:
-            handle.request("evict_all", timeout=self.request_timeout)
+        self._fanout(
+            [(shard, "evict_all", None) for shard in range(self.n_workers)]
+        )
+
+    def _fanout(self, requests: Sequence[tuple]) -> None:
+        """Issue one request per shard, surviving per-shard failures.
+
+        Every shard is attempted; query-level errors (``QueryError``,
+        ``IndexError_``) propagate immediately (they mean the *request*
+        was wrong, so later shards would fail identically), while
+        transport failures are collected and re-raised at the end as a
+        single :class:`ServerError` naming each failed shard — so one
+        dead worker cannot stop healthy shards from being administered.
+        """
+        failures: List[tuple] = []
+        for shard, method, payload in requests:
+            try:
+                self._workers[shard].request(
+                    method, payload, timeout=self.request_timeout
+                )
+            except ServerError as exc:
+                failures.append((shard, exc))
+        if failures:
+            if len(failures) == 1:
+                raise failures[0][1]
+            detail = "; ".join(f"shard {shard}: {exc}" for shard, exc in failures)
+            raise ServerError(
+                f"{len(failures)} shards failed during fan-out — {detail}"
+            )
 
     # ------------------------------------------------------------------
     # observability

@@ -133,6 +133,12 @@ class ServerStats:
     keyword_hits: int = 0
     keyword_misses: int = 0
     warm_loads: int = 0
+    #: Worker restarts performed by a supervisor (parent-side counter).
+    restarts: int = 0
+    #: Queries transparently retried after a worker restart.
+    retries: int = 0
+    #: Requests shed by admission control (never dispatched to a worker).
+    sheds: int = 0
     total_seconds: float = 0.0
     latency_window: int = _LATENCY_WINDOW
     _latencies: Deque[float] = field(
@@ -171,6 +177,9 @@ class ServerStats:
                 keyword_hits=self.keyword_hits,
                 keyword_misses=self.keyword_misses,
                 warm_loads=self.warm_loads,
+                restarts=self.restarts,
+                retries=self.retries,
+                sheds=self.sheds,
                 total_seconds=self.total_seconds,
                 latency_window=self.latency_window,
             )
@@ -232,6 +241,21 @@ class ServerStats:
         with self._lock:
             self.warm_loads += 1
 
+    def record_restart(self) -> None:
+        """Count one supervised worker restart."""
+        with self._lock:
+            self.restarts += 1
+
+    def record_retry(self) -> None:
+        """Count one transparent per-query retry (after a restart)."""
+        with self._lock:
+            self.retries += 1
+
+    def record_shed(self) -> None:
+        """Count one request rejected by admission control."""
+        with self._lock:
+            self.sheds += 1
+
     @property
     def hit_ratio(self) -> float:
         """Query-traffic cache hit ratio (0 when idle; warm loads excluded)."""
@@ -269,6 +293,9 @@ class ServerStats:
                 out.keyword_hits += part.keyword_hits
                 out.keyword_misses += part.keyword_misses
                 out.warm_loads += part.warm_loads
+                out.restarts += part.restarts
+                out.retries += part.retries
+                out.sheds += part.sheds
                 out.total_seconds += part.total_seconds
                 out._latencies.extend(part._latencies)
         return out

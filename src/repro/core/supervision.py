@@ -1,0 +1,807 @@
+"""Self-healing serving tier: supervision over the process pool.
+
+:class:`~repro.core.process_pool.ProcessServerPool` is fast but brittle
+on its own: a dead worker permanently loses its shard, a timed-out
+request leaves the worker pipe desynchronized, and past saturation the
+pool queues without bound.  :class:`SupervisedServerPool` wraps every
+worker with a per-shard supervisor that turns those faults into bounded,
+typed, observable behavior:
+
+* **Automatic restart with backoff and a budget.**  A dead, hung or
+  poisoned worker is replaced by a freshly spawned process on the next
+  request to its shard — immediately on the first failure, then behind
+  an exponential backoff.  A shard that keeps crashing exhausts its
+  restart budget and enters a ``degraded`` state where its queries fail
+  fast with :class:`~repro.errors.ShardUnavailableError` while every
+  healthy shard keeps serving; the budget window resets after a
+  sustained failure-free period, so rare unrelated faults never degrade
+  a long-lived shard.
+* **Deadlines + bounded retry.**  A per-request deadline (pool default
+  or per-call) bounds the whole supervised round trip — queueing at the
+  pipe, worker compute, restart plus retry.  Queries are read-only and
+  therefore idempotent, so after a worker *death* the query retries
+  once on the freshly restarted worker if deadline budget remains; a
+  deadline *miss* poisons the handle (the late reply must never be
+  delivered to a later request — see
+  ``_WorkerHandle.poisoned``) and the supervisor restarts the worker
+  instead of trusting the pipe again.
+* **Admission control.**  A bounded in-flight budget: beyond
+  ``max_inflight`` concurrently executing requests the pool sheds load
+  by raising :class:`~repro.errors.OverloadedError` immediately, with a
+  ``retry_after`` hint derived from recent service times — saturation
+  degrades into bounded-latency goodput plus explicit shed counts
+  instead of unbounded queueing.
+* **Rolling restarts + health.**  :meth:`SupervisedServerPool.drain`
+  takes one shard out of rotation (fail fast, worker shut down);
+  :meth:`~SupervisedServerPool.restore` spawns a fresh worker and
+  resets the shard's budget.  :meth:`~SupervisedServerPool.health`
+  snapshots every shard's state, restart counts, last error and
+  in-flight depth for an external health surface.
+
+Answers stay bit-identical to the unsupervised pool (every worker
+serves the same immutable file through the same ``KBTIMServer`` code);
+supervision only changes what happens when something breaks.  All
+supervision counters (restarts, retries, sheds) land in the pool's
+merged :class:`~repro.core.server.ServerStats`.
+
+Every fault path here is exercised by deterministic injected faults —
+see :mod:`repro.core.chaos` and ``tests/test_supervision.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.process_pool import ProcessServerPool
+from repro.core.query import KBTIMQuery, KeywordRef
+from repro.core.results import SeedSelection
+from repro.core.server import ServerStats, _sharded_batch, shard_of_keyword
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    ServerError,
+    ShardUnavailableError,
+)
+from repro.storage.iostats import IOStats
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SHARD_READY",
+    "SHARD_RESTARTING",
+    "SHARD_DEGRADED",
+    "SHARD_DRAINED",
+    "ShardHealth",
+    "PoolHealth",
+    "SupervisedServerPool",
+]
+
+
+#: Shard states surfaced by :meth:`SupervisedServerPool.health`.
+SHARD_READY = "ready"
+#: The worker is down/poisoned and a restart is pending (backoff window).
+SHARD_RESTARTING = "restarting"
+#: Restart budget exhausted: fail fast until an operator ``restore()``.
+SHARD_DEGRADED = "degraded"
+#: Taken out of rotation by ``drain()``; fail fast until ``restore()``.
+SHARD_DRAINED = "drained"
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's supervision snapshot (see :meth:`SupervisedServerPool.health`)."""
+
+    shard: int
+    state: str
+    alive: bool
+    pid: Optional[int]
+    restarts: int
+    inflight: int
+    last_error: Optional[str]
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (CLI health/replay reports)."""
+        return {
+            "shard": self.shard,
+            "state": self.state,
+            "alive": self.alive,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "inflight": self.inflight,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass(frozen=True)
+class PoolHealth:
+    """Pool-level health snapshot: per-shard states plus admission gauges."""
+
+    shards: Tuple[ShardHealth, ...]
+    inflight: int
+    max_inflight: Optional[int]
+    sheds: int
+    restarts: int
+
+    @property
+    def available_shards(self) -> int:
+        """Shards currently accepting queries (``ready``)."""
+        return sum(1 for s in self.shards if s.state == SHARD_READY)
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every shard is ``ready`` (the ``/healthz`` boolean)."""
+        return all(s.state == SHARD_READY for s in self.shards)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (CLI health/replay reports)."""
+        return {
+            "healthy": self.healthy,
+            "available_shards": self.available_shards,
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "sheds": self.sheds,
+            "restarts": self.restarts,
+            "shards": [s.to_dict() for s in self.shards],
+        }
+
+
+class _ShardSupervisor:
+    """Parent-side supervision record for one shard (state + budget)."""
+
+    __slots__ = (
+        "shard",
+        "lock",
+        "drained",
+        "degraded",
+        "restarts_in_window",
+        "total_restarts",
+        "last_failure_at",
+        "last_error",
+        "inflight",
+    )
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.lock = threading.Lock()
+        self.drained = False
+        self.degraded = False
+        self.restarts_in_window = 0
+        self.total_restarts = 0
+        self.last_failure_at: Optional[float] = None
+        self.last_error: Optional[str] = None
+        self.inflight = 0
+
+
+class SupervisedServerPool:
+    """A :class:`ProcessServerPool` behind per-shard supervisors.
+
+    Parameters
+    ----------
+    path:
+        The RR index file every worker opens (immutable while served).
+    n_workers:
+        Number of shards/worker processes (>= 1).
+    request_timeout:
+        Default per-request deadline in seconds, bounding the whole
+        supervised round trip (including restart + retry); ``None``
+        waits indefinitely.  Overridable per call via ``timeout=``.
+    max_retries:
+        Transparent retries per query after a worker *death* (queries
+        are read-only, hence idempotent).  Default 1: retry once on the
+        freshly restarted worker.  Deadline misses are never retried —
+        by definition there is no budget left.
+    restart_budget:
+        Restarts allowed per shard within one failure window before the
+        shard is declared ``degraded`` (fail fast until
+        :meth:`restore`).
+    restart_backoff:
+        Base backoff in seconds: the first restart of a window is
+        immediate, the k-th waits ``restart_backoff * 2**(k-2)``
+        (capped at ``backoff_max``) after the latest failure.  ``0``
+        disables the wait (deterministic tests).
+    backoff_max:
+        Upper bound on the exponential backoff delay.
+    budget_reset_after:
+        Seconds of failure-free service after which a shard's restart
+        window resets — rare, unrelated faults must not accumulate into
+        a degraded state over weeks of serving.
+    max_inflight:
+        Admission-control budget: beyond this many concurrently
+        executing requests the pool sheds load with
+        :class:`~repro.errors.OverloadedError` instead of queueing.
+        ``None`` disables admission control.
+    **pool_kwargs:
+        Forwarded to :class:`ProcessServerPool` (``cache_keywords``,
+        ``pool_pages``, ``start_method``, ...).
+
+    Raises
+    ------
+    ValueError
+        On non-positive ``n_workers``/``max_inflight`` or a negative
+        timing knob.
+    CorruptIndexError
+        If ``path`` is not a readable RR index (checked in the parent
+        before any process spawns).
+
+    **Thread safety.**  Any number of threads may call :meth:`query` /
+    :meth:`query_batch` concurrently; supervision state is per-shard
+    locked, restarts serialize per shard, and admission counters sit
+    behind one small lock.
+
+    **Semantics.**  Answers are bit-identical to the unsupervised pool
+    (same workers, same immutable file, same dispatch); per-query I/O
+    accounting stays exact.  A restarted worker starts with cold
+    caches, so a retried query may report cold-cost ``QueryStats`` —
+    the *answer* is unchanged.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        n_workers: int = 4,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        restart_budget: int = 3,
+        restart_backoff: float = 0.05,
+        backoff_max: float = 5.0,
+        budget_reset_after: float = 60.0,
+        max_inflight: Optional[int] = None,
+        **pool_kwargs,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        check_positive_int("restart_budget", restart_budget)
+        for name, value in (
+            ("restart_backoff", restart_backoff),
+            ("backoff_max", backoff_max),
+            ("budget_reset_after", budget_reset_after),
+        ):
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if max_inflight is not None:
+            check_positive_int("max_inflight", max_inflight)
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.restart_budget = restart_budget
+        self.restart_backoff = restart_backoff
+        self.backoff_max = backoff_max
+        self.budget_reset_after = budget_reset_after
+        self.max_inflight = max_inflight
+
+        self._pool = ProcessServerPool(path, n_workers=n_workers, **pool_kwargs)
+        self.n_workers = self._pool.n_workers
+        self._shards = [_ShardSupervisor(i) for i in range(self.n_workers)]
+        self._stats = ServerStats()  # parent-side: restarts/retries/sheds
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
+        self._exhausted_until = 0.0  # chaos: forced admission exhaustion
+        self._ewma_latency = 0.005  # retry-after hint, seeded at 5 ms
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # supervision machinery
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, restarts_in_window: int) -> float:
+        """Backoff before restart attempt ``restarts_in_window + 1``."""
+        if restarts_in_window == 0:
+            return 0.0
+        return min(
+            self.restart_backoff * (2.0 ** (restarts_in_window - 1)),
+            self.backoff_max,
+        )
+
+    def _shard_down(self, shard: int) -> bool:
+        """Whether a shard's worker can no longer be trusted to answer."""
+        handle = self._pool._workers[shard]
+        return handle.closed or handle.poisoned or not handle.process.is_alive()
+
+    def _ensure_ready(self, shard: int) -> None:
+        """Heal a down shard (restart, subject to backoff + budget) or fail fast.
+
+        Raises :class:`ShardUnavailableError` when the shard is drained,
+        degraded, or inside its backoff window — carrying ``retry_after``
+        when the supervisor will try again on its own.
+        """
+        sup = self._shards[shard]
+        with sup.lock:
+            if sup.drained:
+                raise ShardUnavailableError(
+                    f"shard {shard} is drained (rolling restart); call "
+                    "restore() to return it to rotation",
+                    shard=shard,
+                    retry_after=None,
+                )
+            if sup.degraded:
+                raise ShardUnavailableError(
+                    f"shard {shard} is degraded: restart budget "
+                    f"({self.restart_budget}) exhausted; last error: "
+                    f"{sup.last_error}; call restore() after fixing the cause",
+                    shard=shard,
+                    retry_after=None,
+                )
+            if not self._shard_down(shard):
+                return
+            now = time.monotonic()
+            if (
+                sup.last_failure_at is not None
+                and now - sup.last_failure_at > self.budget_reset_after
+            ):
+                sup.restarts_in_window = 0  # sustained health: window resets
+            if sup.restarts_in_window >= self.restart_budget:
+                sup.degraded = True
+                raise ShardUnavailableError(
+                    f"shard {shard} is degraded: {sup.restarts_in_window} "
+                    "restarts exhausted the budget (crash loop); last error: "
+                    f"{sup.last_error}",
+                    shard=shard,
+                    retry_after=None,
+                )
+            since_failure = (
+                now - sup.last_failure_at if sup.last_failure_at is not None else 0.0
+            )
+            remaining = self._backoff_delay(sup.restarts_in_window) - since_failure
+            if remaining > 0:
+                raise ShardUnavailableError(
+                    f"shard {shard} is restarting (backoff); retry in "
+                    f"{remaining:.3f}s",
+                    shard=shard,
+                    retry_after=remaining,
+                )
+            self._pool.restart_worker(shard)
+            sup.restarts_in_window += 1
+            sup.total_restarts += 1
+            self._stats.record_restart()
+
+    def _note_failure(self, shard: int, exc: BaseException) -> None:
+        """Record a transport failure; the next request triggers healing."""
+        sup = self._shards[shard]
+        with sup.lock:
+            sup.last_failure_at = time.monotonic()
+            sup.last_error = f"{type(exc).__name__}: {exc}"
+
+    # ------------------------------------------------------------------
+    # deadlines + admission
+    # ------------------------------------------------------------------
+    def _deadline(self, timeout: Optional[float]) -> Optional[float]:
+        """Absolute monotonic deadline for one supervised round trip."""
+        budget = timeout if timeout is not None else self.request_timeout
+        if budget is None:
+            return None
+        return time.monotonic() + budget
+
+    @staticmethod
+    def _remaining(deadline: Optional[float]) -> Optional[float]:
+        """Seconds left before ``deadline`` (None = unbounded)."""
+        if deadline is None:
+            return None
+        return deadline - time.monotonic()
+
+    def _admit(self, units: int) -> None:
+        """Claim admission budget or shed with a typed Overloaded error."""
+        if self.max_inflight is None and self._exhausted_until <= 0.0:
+            return
+        with self._admission_lock:
+            now = time.monotonic()
+            exhausted = now < self._exhausted_until
+            over = (
+                self.max_inflight is not None
+                and self._inflight + units > self.max_inflight
+            )
+            if exhausted or over:
+                self._stats.record_shed()
+                if exhausted:
+                    retry_after = self._exhausted_until - now
+                    detail = "admission budget exhausted (injected fault)"
+                else:
+                    retry_after = max(self._ewma_latency, 1e-3)
+                    detail = (
+                        f"{self._inflight} requests in flight >= "
+                        f"max_inflight {self.max_inflight}"
+                    )
+                raise OverloadedError(
+                    f"serving tier overloaded: {detail}; retry after "
+                    f"{retry_after:.3f}s",
+                    retry_after=retry_after,
+                )
+            self._inflight += units
+        return
+
+    def _release(self, units: int) -> None:
+        """Return admission budget claimed by :meth:`_admit`."""
+        if self.max_inflight is None and self._exhausted_until <= 0.0:
+            return
+        with self._admission_lock:
+            self._inflight = max(0, self._inflight - units)
+
+    def inject_admission_exhaustion(self, seconds: float) -> None:
+        """Force admission control to shed everything for ``seconds``.
+
+        A deterministic fault-injection hook (the ``exhaust`` event of a
+        :class:`~repro.core.chaos.FaultPlan`): every request admitted
+        during the window raises :class:`~repro.errors.OverloadedError`
+        with the window's remaining time as ``retry_after``, exactly as
+        if the in-flight budget were full.
+        """
+        with self._admission_lock:
+            self._exhausted_until = time.monotonic() + seconds
+
+    # ------------------------------------------------------------------
+    # supervised dispatch
+    # ------------------------------------------------------------------
+    def _call_shard(
+        self,
+        shard: int,
+        method: str,
+        payload,
+        *,
+        deadline: Optional[float],
+        count_retry: bool = True,
+    ):
+        """One supervised round trip to a shard, healing + retrying.
+
+        Heals the shard if needed (restart behind backoff/budget),
+        issues the request with the remaining deadline budget, and on a
+        worker *death* retries up to ``max_retries`` times on the
+        freshly restarted worker.  Deadline misses poison the handle and
+        propagate immediately — the budget is spent.  Query-level errors
+        (``QueryError``, ``IndexError_``) propagate untouched: the
+        worker answered, the request was just wrong.
+        """
+        sup = self._shards[shard]
+        attempts = 0
+        while True:
+            self._ensure_ready(shard)
+            remaining = self._remaining(deadline)
+            if remaining is not None and remaining <= 0:
+                raise DeadlineExceededError(
+                    f"deadline exhausted before dispatch to shard {shard} "
+                    "(spent on queueing/restarts)"
+                )
+            with sup.lock:
+                sup.inflight += 1
+            try:
+                return self._pool._workers[shard].request(
+                    method, payload, timeout=remaining
+                )
+            except DeadlineExceededError as exc:
+                self._note_failure(shard, exc)
+                raise
+            except ShardUnavailableError:
+                raise
+            except ServerError as exc:
+                self._note_failure(shard, exc)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                if count_retry:
+                    self._stats.record_retry()
+            finally:
+                with sup.lock:
+                    sup.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def shard_of(self, query: KBTIMQuery) -> int:
+        """The shard this query dispatches to (same crc32 mapping as the
+        unsupervised pools)."""
+        return self._pool.shard_of(query)
+
+    def query(
+        self, query: KBTIMQuery, *, timeout: Optional[float] = None
+    ) -> SeedSelection:
+        """Answer one query with supervision: heal, bound, retry or shed.
+
+        Parameters
+        ----------
+        query:
+            The ``(Q.T, Q.k)`` pair to answer.
+        timeout:
+            Per-call deadline in seconds overriding the pool's
+            ``request_timeout``; bounds the whole supervised round trip.
+
+        Returns
+        -------
+        The same :class:`~repro.core.results.SeedSelection` the
+        unsupervised pool would produce.
+
+        Raises
+        ------
+        QueryError, IndexError_
+            The usual query-level errors, untouched.
+        OverloadedError
+            If admission control shed the request (``retry_after`` set).
+        ShardUnavailableError
+            If the owning shard is drained, degraded, or inside its
+            restart backoff window.
+        DeadlineExceededError
+            If the deadline passed before an answer arrived (the worker
+            is restarted behind the scenes; the late answer is never
+            delivered elsewhere).
+        ServerError
+            If the worker died and every retry failed.
+        """
+        self._check_open()
+        shard = self._pool.shard_of(query)
+        deadline = self._deadline(timeout)
+        self._admit(1)
+        try:
+            started = time.perf_counter()
+            result = self._call_shard(shard, "query", query, deadline=deadline)
+            self._observe_latency(time.perf_counter() - started)
+            return result
+        finally:
+            self._release(1)
+
+    def query_batch(
+        self,
+        queries: Sequence[KBTIMQuery],
+        *,
+        concurrent: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[SeedSelection]:
+        """Answer a batch, sharded, with per-sub-batch supervision.
+
+        The batch splits by shard exactly like the unsupervised pools;
+        each populated shard's sub-batch is one supervised round trip
+        (healed and retried as a unit — queries are idempotent).  The
+        whole batch shares one deadline and is admitted as
+        ``len(queries)`` units against the in-flight budget.
+
+        Raises
+        ------
+        OverloadedError
+            If the batch does not fit the admission budget.
+        ShardUnavailableError, DeadlineExceededError, ServerError
+            As :meth:`query`, per failing shard (first failure wins;
+            other shards' sub-batches may still have been answered).
+        """
+        self._check_open()
+        queries = list(queries)
+        if not queries:
+            return []
+        deadline = self._deadline(timeout)
+        self._admit(len(queries))
+        try:
+            return _sharded_batch(
+                queries,
+                self._pool.shard_of,
+                lambda shard, sub: self._call_shard(
+                    shard, "query_batch", sub, deadline=deadline
+                ),
+                concurrent,
+            )
+        finally:
+            self._release(len(queries))
+
+    # ------------------------------------------------------------------
+    # administration
+    # ------------------------------------------------------------------
+    def warm(self, keywords: Iterable[KeywordRef]) -> None:
+        """Pre-load each keyword on its owning shard, healing dead workers.
+
+        Supervised fan-out: a down shard is restarted (backoff/budget
+        permitting) before its warm request; shards that stay
+        unavailable are skipped and reported at the end in one
+        :class:`~repro.errors.ServerError` naming them — surviving
+        shards are always warmed.
+        """
+        self._check_open()
+        by_shard: Dict[int, List[str]] = {}
+        for kw in keywords:
+            name = self._pool._resolve(kw)
+            by_shard.setdefault(
+                shard_of_keyword(name, self.n_workers), []
+            ).append(name)
+        self._supervised_fanout(
+            [(shard, "warm", names) for shard, names in sorted(by_shard.items())]
+        )
+
+    def evict_all(self) -> None:
+        """Drop every live worker's caches; report unavailable shards.
+
+        Like :meth:`warm`, every healthy shard is administered before
+        the failure (if any) surfaces.
+        """
+        self._check_open()
+        self._supervised_fanout(
+            [(shard, "evict_all", None) for shard in range(self.n_workers)]
+        )
+
+    def _supervised_fanout(self, requests: Sequence[tuple]) -> None:
+        """Run admin requests on every shard; collect transport failures."""
+        failures: List[tuple] = []
+        for shard, method, payload in requests:
+            try:
+                self._call_shard(
+                    shard,
+                    method,
+                    payload,
+                    deadline=self._deadline(None),
+                    count_retry=False,
+                )
+            except ServerError as exc:
+                failures.append((shard, exc))
+        if failures:
+            if len(failures) == 1:
+                raise failures[0][1]
+            detail = "; ".join(f"shard {shard}: {exc}" for shard, exc in failures)
+            raise ServerError(
+                f"{len(failures)} shards failed during fan-out — {detail}"
+            )
+
+    def drain(self, shard: int) -> None:
+        """Take one shard out of rotation for a rolling restart.
+
+        In-flight requests on the shard finish (the worker pipe is a
+        strict request/response channel); new queries fail fast with
+        :class:`~repro.errors.ShardUnavailableError` (``retry_after``
+        ``None`` — the shard waits for :meth:`restore`).  The worker
+        process is shut down once drained.  Idempotent.
+        """
+        self._check_open()
+        sup = self._shards[shard]
+        with sup.lock:
+            if sup.drained:
+                return
+            sup.drained = True
+        # New dispatches now fail fast; the handle serializes in-flight
+        # work, so a polite shutdown drains before stopping.
+        self._pool._workers[shard].shutdown()
+
+    def restore(self, shard: int) -> None:
+        """Return a drained or degraded shard to rotation with a fresh worker.
+
+        Spawns a replacement process, resets the shard's restart window
+        and degraded flag (the budget starts over — restoring is the
+        operator saying "the cause is fixed"), and marks it ``ready``.
+
+        Raises
+        ------
+        ServerError
+            If the replacement worker fails its startup handshake; the
+            shard stays out of rotation.
+        """
+        self._check_open()
+        sup = self._shards[shard]
+        with sup.lock:
+            self._pool.restart_worker(shard)
+            sup.drained = False
+            sup.degraded = False
+            sup.restarts_in_window = 0
+            sup.last_failure_at = None
+            sup.last_error = None
+            sup.total_restarts += 1
+            self._stats.record_restart()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _observe_latency(self, seconds: float) -> None:
+        """Feed the EWMA service-time estimate behind retry-after hints."""
+        self._ewma_latency += 0.2 * (seconds - self._ewma_latency)
+
+    def health(self) -> PoolHealth:
+        """Snapshot every shard's supervision state plus admission gauges.
+
+        Pure parent-side bookkeeping — no worker round trips — so it
+        stays cheap and safe to poll from a health endpoint even while
+        shards are down.
+
+        Raises
+        ------
+        ServerError
+            If the pool is closed.
+        """
+        self._check_open()
+        shards = []
+        for sup in self._shards:
+            with sup.lock:
+                if sup.drained:
+                    state = SHARD_DRAINED
+                elif sup.degraded:
+                    state = SHARD_DEGRADED
+                elif self._shard_down(sup.shard):
+                    state = SHARD_RESTARTING
+                else:
+                    state = SHARD_READY
+                handle = self._pool._workers[sup.shard]
+                shards.append(
+                    ShardHealth(
+                        shard=sup.shard,
+                        state=state,
+                        alive=handle.process.is_alive(),
+                        pid=handle.pid,
+                        restarts=sup.total_restarts,
+                        inflight=sup.inflight,
+                        last_error=sup.last_error,
+                    )
+                )
+        with self._admission_lock:
+            inflight = self._inflight
+        return PoolHealth(
+            shards=tuple(shards),
+            inflight=inflight,
+            max_inflight=self.max_inflight,
+            sheds=self._stats.sheds,
+            restarts=self._stats.restarts,
+        )
+
+    def worker_stats(self) -> List[Optional[ServerStats]]:
+        """Per-shard :class:`ServerStats` snapshots; ``None`` for shards
+        that are currently unavailable (down, drained or degraded)."""
+        self._check_open()
+        out: List[Optional[ServerStats]] = []
+        for shard in range(self.n_workers):
+            sup = self._shards[shard]
+            with sup.lock:
+                unavailable = sup.drained or sup.degraded or self._shard_down(shard)
+            if unavailable:
+                out.append(None)
+                continue
+            try:
+                out.append(
+                    self._pool._workers[shard].request(
+                        "stats", timeout=self.request_timeout
+                    )
+                )
+            except ServerError:
+                out.append(None)
+        return out
+
+    @property
+    def stats(self) -> ServerStats:
+        """Merged pool stats: live workers' counters plus the parent-side
+        supervision counters (restarts, retries, sheds).  Unavailable
+        shards contribute nothing — their counters died with them."""
+        parts = [s for s in self.worker_stats() if s is not None]
+        parts.append(self._stats.snapshot())
+        return ServerStats.merged(parts)
+
+    @property
+    def io_stats(self) -> IOStats:
+        """Summed physical I/O across live workers (best-effort: a shard
+        that is down contributes nothing)."""
+        self._check_open()
+        total = IOStats()
+        for shard in range(self.n_workers):
+            if self._shard_down(shard):
+                continue
+            try:
+                total.add(
+                    self._pool._workers[shard].request(
+                        "io_stats", timeout=self.request_timeout
+                    )
+                )
+            except ServerError:
+                continue
+        return total
+
+    @property
+    def pool(self) -> ProcessServerPool:
+        """The wrapped :class:`ProcessServerPool` (chaos + tests reach
+        through here; production code should not need to)."""
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServerError("supervised server pool is closed")
+
+    def close(self) -> None:
+        """Shut down every worker and the supervision layer. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+
+    def __enter__(self) -> "SupervisedServerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

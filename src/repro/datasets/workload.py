@@ -33,7 +33,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.query import KBTIMQuery
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.profiles.generators import zipf_weights
 from repro.profiles.store import ProfileStore
 from repro.utils.rng import RngLike, as_rng
@@ -225,17 +225,64 @@ class ReplayReport:
         Wall-clock duration of the whole replay.
     threads:
         Concurrency the replay ran at.
+    errors:
+        Per-query failure strings (``"TypeName: message"``), ``None``
+        for answered queries, in workload order.  Empty when the replay
+        ran with ``tolerate_errors=False`` (the pre-robustness default,
+        where the first failure propagates instead).
+    fault_events:
+        JSON-ready records of the injected faults that fired (from the
+        chaos controller), in firing order.
+    deadline:
+        The SLA threshold in seconds used to classify goodput, or
+        ``None``.  Enforcement is the server's job (its request
+        timeout); this is pure classification.
+    restarts / retries / sheds:
+        Supervision counter deltas over the replay window (0 when the
+        server has no such counters).
     """
 
     results: Tuple
     latencies: Tuple[float, ...]
     elapsed_seconds: float
     threads: int
+    errors: Tuple[Optional[str], ...] = ()
+    fault_events: Tuple[dict, ...] = ()
+    deadline: Optional[float] = None
+    restarts: int = 0
+    retries: int = 0
+    sheds: int = 0
 
     @property
     def n_queries(self) -> int:
         """Number of queries replayed."""
         return len(self.latencies)
+
+    @property
+    def n_failed(self) -> int:
+        """Queries that errored (shed, shard down, deadline, ...)."""
+        return sum(1 for e in self.errors if e is not None)
+
+    @property
+    def n_ok(self) -> int:
+        """Queries that returned an answer."""
+        return self.n_queries - self.n_failed
+
+    @property
+    def goodput(self) -> int:
+        """Successful queries that also met the deadline (the SLA view).
+
+        Without a ``deadline`` this is simply :attr:`n_ok`.
+        """
+        if not self.latencies:
+            return 0
+        errors = self.errors or (None,) * self.n_queries
+        return sum(
+            1
+            for latency, error in zip(self.latencies, errors)
+            if error is None
+            and (self.deadline is None or latency <= self.deadline)
+        )
 
     @property
     def qps(self) -> float:
@@ -245,15 +292,58 @@ class ReplayReport:
         return self.n_queries / self.elapsed_seconds
 
     @property
+    def goodput_qps(self) -> float:
+        """Deadline-meeting successful queries per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.goodput / self.elapsed_seconds
+
+    @property
+    def admitted_latencies(self) -> Tuple[float, ...]:
+        """Latencies of answered queries only (shed/failed excluded) —
+        the population whose tail admission control keeps bounded."""
+        if not self.errors:
+            return self.latencies
+        return tuple(
+            latency
+            for latency, error in zip(self.latencies, self.errors)
+            if error is None
+        )
+
+    @property
     def mean_latency(self) -> float:
         """Mean per-query latency in seconds."""
         return float(np.mean(self.latencies)) if self.latencies else 0.0
 
-    def percentile_latency(self, q: float) -> float:
-        """Latency percentile (e.g. ``q=99``) over all replayed queries."""
-        if not self.latencies:
+    def percentile_latency(self, q: float, *, admitted_only: bool = False) -> float:
+        """Latency percentile (e.g. ``q=99``); ``admitted_only=True``
+        restricts to answered queries (shed requests fail in
+        microseconds and would flatter the tail)."""
+        population = self.admitted_latencies if admitted_only else self.latencies
+        if not population:
             return 0.0
-        return float(np.percentile(self.latencies, q))
+        return float(np.percentile(population, q))
+
+
+def _supervision_counters(server) -> Tuple[int, int, int]:
+    """Best-effort ``(restarts, retries, sheds)`` snapshot of a server.
+
+    Reads the server's merged :class:`~repro.core.server.ServerStats`
+    when it has one; servers without supervision counters report zeros.
+    A snapshot failure (e.g. every shard down mid-chaos) also reports
+    zeros rather than failing the replay.
+    """
+    try:
+        stats = getattr(server, "stats", None)
+    except ReproError:
+        return (0, 0, 0)
+    if stats is None:
+        return (0, 0, 0)
+    return (
+        getattr(stats, "restarts", 0),
+        getattr(stats, "retries", 0),
+        getattr(stats, "sheds", 0),
+    )
 
 
 def replay(
@@ -262,6 +352,9 @@ def replay(
     *,
     threads: int = 1,
     arrivals: Optional[Sequence[float]] = None,
+    deadline: Optional[float] = None,
+    chaos=None,
+    tolerate_errors: Optional[bool] = None,
 ) -> ReplayReport:
     """Drive a query server over a workload and measure latency/QPS.
 
@@ -290,11 +383,31 @@ def replay(
         Queries are issued no earlier than their offset; with all
         ``threads`` workers busy a due query queues, and that delay is
         charged to its latency.
+    deadline:
+        Optional SLA threshold in seconds for goodput classification
+        (queries answered within it count toward
+        :attr:`ReplayReport.goodput`).  Classification only —
+        *enforcement* belongs to the server (e.g. a supervised pool's
+        ``request_timeout``).
+    chaos:
+        Optional fault injection: a
+        :class:`~repro.core.chaos.ChaosController` already bound to the
+        server, or a bare :class:`~repro.core.chaos.FaultPlan` (bound
+        here).  Scheduled events fire just before their query ordinal
+        is issued, and the fired records land in
+        :attr:`ReplayReport.fault_events`.  Implies
+        ``tolerate_errors=True`` unless overridden.
+    tolerate_errors:
+        When true, per-query library failures (shed, shard unavailable,
+        deadline exceeded, worker death) are recorded in
+        :attr:`ReplayReport.errors` instead of aborting the replay —
+        the mode every chaos run wants.  Default: ``True`` iff
+        ``chaos`` is given.  Non-library exceptions always propagate.
 
     Returns
     -------
-    A :class:`ReplayReport` with results, per-query latencies, and
-    throughput.
+    A :class:`ReplayReport` with results, per-query latencies, errors,
+    fired fault events, supervision counter deltas, and throughput.
 
     Raises
     ------
@@ -306,6 +419,12 @@ def replay(
     """
     threads = check_positive_int("threads", threads)
     queries = list(queries)
+    if tolerate_errors is None:
+        tolerate_errors = chaos is not None
+    if chaos is not None and not hasattr(chaos, "before_query"):
+        from repro.core.chaos import ChaosController
+
+        chaos = ChaosController(chaos, server)
     if arrivals is not None:
         arrivals = np.asarray(arrivals, dtype=np.float64)
         if len(arrivals) != len(queries):
@@ -317,14 +436,22 @@ def replay(
             raise QueryError("arrival offsets must be non-decreasing")
     if not queries:
         return ReplayReport(
-            results=(), latencies=(), elapsed_seconds=0.0, threads=threads
+            results=(),
+            latencies=(),
+            elapsed_seconds=0.0,
+            threads=threads,
+            deadline=deadline,
         )
 
     results: List = [None] * len(queries)
     latencies = [0.0] * len(queries)
+    errors: List[Optional[str]] = [None] * len(queries)
+    counters_before = _supervision_counters(server)
     started = time.perf_counter()
 
     def run_one(pos: int) -> None:
+        if chaos is not None:
+            chaos.before_query(pos)
         if arrivals is not None:
             due = started + float(arrivals[pos])
             delay = due - time.perf_counter()
@@ -333,7 +460,12 @@ def replay(
             issued = due  # open loop: charge queueing delay to latency
         else:
             issued = time.perf_counter()
-        results[pos] = server.query(queries[pos])
+        try:
+            results[pos] = server.query(queries[pos])
+        except ReproError as exc:
+            if not tolerate_errors:
+                raise
+            errors[pos] = f"{type(exc).__name__}: {exc}"
         latencies[pos] = time.perf_counter() - issued
 
     if threads == 1:
@@ -347,9 +479,16 @@ def replay(
             for future in futures:
                 future.result()
     elapsed = time.perf_counter() - started
+    counters_after = _supervision_counters(server)
     return ReplayReport(
         results=tuple(results),
         latencies=tuple(latencies),
         elapsed_seconds=elapsed,
         threads=threads,
+        errors=tuple(errors) if tolerate_errors else (),
+        fault_events=tuple(getattr(chaos, "fired", ())) if chaos else (),
+        deadline=deadline,
+        restarts=max(0, counters_after[0] - counters_before[0]),
+        retries=max(0, counters_after[1] - counters_before[1]),
+        sheds=max(0, counters_after[2] - counters_before[2]),
     )

@@ -55,3 +55,64 @@ class ServerError(ReproError):
     callers can tell "your query was wrong" from "the serving tier is
     unhealthy" with one ``except`` clause.
     """
+
+
+class DeadlineExceededError(ServerError):
+    """Raised when a request exceeded its deadline before answering.
+
+    The worker may still be computing (or may have died silently); the
+    caller's pipe is no longer synchronized with it, so the owning
+    handle is poisoned and — under supervision — the worker is
+    restarted rather than trusted to frame the next reply.  The answer,
+    if it ever arrives, is discarded, never delivered to a later
+    request.
+    """
+
+
+class ShardUnavailableError(ServerError):
+    """Raised fast for queries whose shard is down, draining or degraded.
+
+    Carries ``shard`` (the worker index) and ``retry_after`` (seconds
+    until the supervisor will next attempt a restart; ``None`` when the
+    shard is out of restart budget or drained and needs operator
+    action).  Other shards keep serving — this error scopes the outage
+    to the keywords the dead shard owns.
+    """
+
+    def __init__(self, message: str, *, shard: int, retry_after: "float | None" = None):
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        """Pickle through the keyword-only constructor (pipe transport)."""
+        return (_rebuild_shard_unavailable, (self.args[0], self.shard, self.retry_after))
+
+
+def _rebuild_shard_unavailable(message, shard, retry_after):
+    """Unpickle helper for :class:`ShardUnavailableError`."""
+    return ShardUnavailableError(message, shard=shard, retry_after=retry_after)
+
+
+class OverloadedError(ServerError):
+    """Raised when admission control sheds a request (load shedding).
+
+    The serving tier is saturated: its bounded in-flight budget is
+    full, and queueing further work would only grow latency without
+    bound.  ``retry_after`` is a hint in seconds (derived from recent
+    service times) after which capacity is likely to be available —
+    the library-level analogue of HTTP 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+    def __reduce__(self):
+        """Pickle through the keyword-only constructor (pipe transport)."""
+        return (_rebuild_overloaded, (self.args[0], self.retry_after))
+
+
+def _rebuild_overloaded(message, retry_after):
+    """Unpickle helper for :class:`OverloadedError`."""
+    return OverloadedError(message, retry_after=retry_after)

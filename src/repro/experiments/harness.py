@@ -277,8 +277,11 @@ class ExperimentContext:
         (N readers in this process, one shared buffer pool),
         ``"process"`` a
         :class:`~repro.core.process_pool.ProcessServerPool` (N worker
-        processes, GIL-free warm serving).  ``pool_kwargs`` pass through
-        to the chosen pool class.
+        processes, GIL-free warm serving), ``"supervised"`` a
+        :class:`~repro.core.supervision.SupervisedServerPool` (worker
+        processes behind self-healing supervisors with deadlines and
+        admission control).  ``pool_kwargs`` pass through to the chosen
+        pool class.
 
         Raises
         ------
@@ -287,6 +290,7 @@ class ExperimentContext:
         """
         from repro.core.process_pool import ProcessServerPool
         from repro.core.server import ServerPool
+        from repro.core.supervision import SupervisedServerPool
 
         self.build_index(dataset, kind="rr")
         path = self.index_path(dataset, kind="rr")
@@ -294,6 +298,8 @@ class ExperimentContext:
             return ServerPool(path, n_workers=n_workers, **pool_kwargs)
         if kind == "process":
             return ProcessServerPool(path, n_workers=n_workers, **pool_kwargs)
+        if kind == "supervised":
+            return SupervisedServerPool(path, n_workers=n_workers, **pool_kwargs)
         raise ValueError(f"unknown server pool kind {kind!r}")
 
     def open_irr(

@@ -17,6 +17,8 @@ Four guarantees are pinned here:
 """
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -28,6 +30,7 @@ from repro.core.theta import ThetaPolicy
 from repro.datasets.workload import make_mixed_workload, replay
 from repro.errors import (
     CorruptIndexError,
+    DeadlineExceededError,
     IndexError_,
     QueryError,
     ServerError,
@@ -355,6 +358,181 @@ class TestWorkerDeath:
         pool.close()  # must not raise or hang
         with pytest.raises(ServerError):
             pool.query(KBTIMQuery(("music",), 2))
+
+
+def _kill_shard(pool: ProcessServerPool, shard: int) -> None:
+    pool._workers[shard].process.kill()
+    pool._workers[shard].process.join(timeout=10.0)
+
+
+def _two_keywords_on_distinct_shards(n_shards: int):
+    """Two keyword names from the test topic space owned by different shards."""
+    keywords = ("music", "book", "journal", "car", "travel", "food", "software")
+    first = keywords[0]
+    second = next(
+        kw
+        for kw in keywords[1:]
+        if shard_of_keyword(kw, n_shards) != shard_of_keyword(first, n_shards)
+    )
+    return first, second
+
+
+@pytest.mark.chaos
+class TestFanoutDeath:
+    """Worker death during fan-out paths: surviving shards must still be
+    administered/answered, and the error must name the dead shard."""
+
+    def test_warm_applies_to_survivors_and_names_dead_shard(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=3) as pool:
+            kw_dead, kw_live = _two_keywords_on_distinct_shards(pool.n_workers)
+            dead = shard_of_keyword(kw_dead, pool.n_workers)
+            live = shard_of_keyword(kw_live, pool.n_workers)
+            _kill_shard(pool, dead)
+            with pytest.raises(ServerError) as excinfo:
+                pool.warm([kw_dead, kw_live])
+            message = str(excinfo.value)
+            assert f"worker {dead}" in message
+            assert "died" in message
+            # The surviving shard was warmed *before* the error surfaced.
+            stats = pool._workers[live].request("stats")
+            assert stats.warm_loads == 1
+            assert kw_live in pool._workers[live].request("cached_keywords")
+
+    def test_evict_all_applies_to_survivors_and_names_dead_shard(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=3) as pool:
+            kw_dead, kw_live = _two_keywords_on_distinct_shards(pool.n_workers)
+            dead = shard_of_keyword(kw_dead, pool.n_workers)
+            live = shard_of_keyword(kw_live, pool.n_workers)
+            pool.query(KBTIMQuery((kw_live,), 2))  # populate the live cache
+            _kill_shard(pool, dead)
+            with pytest.raises(ServerError) as excinfo:
+                pool.evict_all()
+            assert f"worker {dead}" in str(excinfo.value)
+            # The surviving shard's caches really were dropped.
+            assert pool._workers[live].request("cached_keywords") == []
+
+    def test_all_shards_dead_reports_every_failure(self, setup):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=2) as pool:
+            _kill_shard(pool, 0)
+            _kill_shard(pool, 1)
+            with pytest.raises(ServerError) as excinfo:
+                pool.evict_all()
+            message = str(excinfo.value)
+            assert "2 shards failed during fan-out" in message
+            assert "shard 0" in message
+            assert "shard 1" in message
+
+    def test_batch_error_names_dead_shard_and_survivors_answer(
+        self, setup, workload
+    ):
+        path, _profiles = setup
+        with ProcessServerPool(path, n_workers=3) as pool:
+            shards = {pool.shard_of(q) for q in workload}
+            assert len(shards) > 1  # the batch really spans shards
+            dead = min(shards)
+            _kill_shard(pool, dead)
+            with pytest.raises(ServerError) as excinfo:
+                pool.query_batch(workload)
+            message = str(excinfo.value)
+            assert f"worker {dead}" in message
+            assert "died" in message
+            # Surviving shards still answer their sub-batches afterwards.
+            survivors = [q for q in workload if pool.shard_of(q) != dead]
+            answers = pool.query_batch(survivors)
+            assert len(answers) == len(survivors)
+            assert all(a.seeds for a in answers)
+
+
+@pytest.mark.chaos
+class TestPoisonedHandle:
+    def test_timeout_poisons_handle_and_restart_resynchronizes(self, setup):
+        """The PR-7 desync fix: after a poll() timeout the late reply is
+        still in the pipe.  The handle must fail fast (poisoned), never
+        deliver the stale reply to the next request, and a restart must
+        resynchronize the shard."""
+        path, _profiles = setup
+        query = KBTIMQuery(("music",), 3)
+        with RRIndex(path) as index:
+            want = index.query(query)
+        with ProcessServerPool(path, n_workers=2) as pool:
+            shard = pool.shard_of(query)
+            handle = pool._workers[shard]
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                handle.request("_chaos", ("sleep", 0.5), timeout=0.05)
+            assert "poisoned" in str(excinfo.value)
+            assert handle.poisoned
+            # Fails fast while the stale reply is still in flight...
+            with pytest.raises(ServerError, match="poisoned"):
+                pool.query(query)
+            # ...even after the stale reply has landed in the pipe.
+            time.sleep(0.6)
+            with pytest.raises(ServerError, match="poisoned"):
+                pool.query(query)
+            # restart_worker swaps in a fresh pipe: exact answers again.
+            pool.restart_worker(shard)
+            got = pool.query(query)
+            assert got.seeds == want.seeds
+            assert got.theta == want.theta
+
+    def test_restart_worker_replaces_dead_shard(self, setup):
+        path, _profiles = setup
+        query = KBTIMQuery(("music",), 3)
+        with ProcessServerPool(path, n_workers=3) as pool:
+            shard = pool.shard_of(query)
+            old_pid = pool.pids[shard]
+            _kill_shard(pool, shard)
+            with pytest.raises(ServerError):
+                pool.query(query)
+            pool.restart_worker(shard)
+            assert pool.worker_alive(shard)
+            assert pool.pids[shard] != old_pid
+            assert pool.query(query).seeds
+
+    def test_restart_worker_on_closed_pool_rejected(self, setup):
+        path, _profiles = setup
+        pool = ProcessServerPool(path, n_workers=2)
+        pool.close()
+        with pytest.raises(ServerError):
+            pool.restart_worker(0)
+
+
+@pytest.mark.chaos
+class TestShutdownLocking:
+    def test_concurrent_request_not_stalled_by_blocking_shutdown(self, setup):
+        """The PR-7 lock fix: shutdown holds the handle lock only across
+        the closed flip + pipe send, so a concurrent request observes
+        ``closed`` promptly instead of stalling behind the join."""
+        path, _profiles = setup
+        pool = ProcessServerPool(path, n_workers=1)
+        handle = pool._workers[0]
+        # Make the drain slow: the worker is busy for 0.8s, so shutdown's
+        # reply-wait + join dominate while the lock must stay free.
+        handle.conn.send(("_chaos", ("sleep", 0.8)))
+        elapsed: dict = {}
+
+        def concurrent_request():
+            started = time.perf_counter()
+            try:
+                handle.request("ping")
+            except ServerError:
+                pass
+            elapsed["seconds"] = time.perf_counter() - started
+
+        shutdown = threading.Thread(target=lambda: handle.shutdown(5.0))
+        shutdown.start()
+        time.sleep(0.1)  # let shutdown flip `closed` and reach the wait
+        prober = threading.Thread(target=concurrent_request)
+        prober.start()
+        prober.join(timeout=5.0)
+        assert not prober.is_alive()
+        # The probe failed fast on `closed` (well before the 0.8s drain).
+        assert elapsed["seconds"] < 0.5
+        shutdown.join(timeout=10.0)
+        assert not shutdown.is_alive()
+        pool.close()
 
 
 class TestLifecycle:
