@@ -23,7 +23,7 @@ import pytest
 
 from repro.core.chaos import ChaosController, FaultEvent, FaultPlan
 from repro.core.rr_index import RRIndex
-from repro.core.server import KBTIMServer
+from repro.core.server import KBTIMServer, process_rss_bytes
 from repro.datasets.workload import (
     make_mixed_workload,
     make_workload,
@@ -195,6 +195,33 @@ def balanced_setup(ctx):
     return ds, queries
 
 
+def _transport_overhead_ns(pool, queries) -> float:
+    """Mean per-query overhead *outside* the worker, in nanoseconds.
+
+    Each answer carries the worker-measured compute time
+    (``stats.elapsed_seconds``); the caller-observed wall time minus
+    that is dispatch + transport — pipe framing, response encode/decode,
+    and (for process pools) the shared-memory flat-frame round trip.
+    """
+    probes = queries[: min(16, len(queries))]
+    wall = 0.0
+    inside = 0.0
+    for query in probes:
+        started = time.perf_counter()
+        selection = pool.query(query)
+        wall += time.perf_counter() - started
+        inside += selection.stats.elapsed_seconds
+    return max(0.0, (wall - inside) / len(probes)) * 1e9
+
+
+def _rss_per_worker(pool, workers: int) -> float:
+    """Mean per-worker resident bytes (whole process for thread pools)."""
+    memory_info = getattr(pool, "memory_info", None)
+    if memory_info is not None:
+        return memory_info()["total_rss_bytes"] / workers
+    return process_rss_bytes() / workers
+
+
 def test_pool_worker_sweep(ctx, mixed_setup, balanced_setup, benchmark, results_dir):
     """Closed-loop replay, thread pool vs process pool at 1/2/4/8 workers.
 
@@ -233,7 +260,15 @@ def test_pool_worker_sweep(ctx, mixed_setup, balanced_setup, benchmark, results_
                         pool.query_batch(queries)  # warm the shard caches
                         report = replay(pool, queries, threads=workers)
                         sweep.append(
-                            (regime, kind, workers, report, pool.stats.hit_ratio)
+                            (
+                                regime,
+                                kind,
+                                workers,
+                                report,
+                                pool.stats.hit_ratio,
+                                _transport_overhead_ns(pool, queries),
+                                _rss_per_worker(pool, workers),
+                            )
                         )
 
     benchmark.pedantic(run_sweep, rounds=1, iterations=1)
@@ -249,9 +284,11 @@ def test_pool_worker_sweep(ctx, mixed_setup, balanced_setup, benchmark, results_
             "p95 (ms)",
             "p99 (ms)",
             "hit ratio",
+            "transport (ns/q)",
+            "rss/worker (MB)",
         ),
     )
-    for regime, kind, workers, report, hit_ratio in sweep:
+    for regime, kind, workers, report, hit_ratio, transport_ns, rss in sweep:
         table.add_row(
             regime,
             kind,
@@ -261,13 +298,34 @@ def test_pool_worker_sweep(ctx, mixed_setup, balanced_setup, benchmark, results_
             report.percentile_latency(95) * 1e3,
             report.percentile_latency(99) * 1e3,
             hit_ratio,
+            transport_ns,
+            rss / 1e6,
         )
     emit(table, results_dir, "server_pool_worker_sweep")
     for regime, queries in regimes:
         expected = len(queries)
         points = [entry for entry in sweep if entry[0] == regime]
-        assert all(report.n_queries == expected for _r, _k, _w, report, _h in points)
-        assert all(report.qps > 0 for _r, _k, _w, report, _h in points)
+        assert all(
+            report.n_queries == expected for _r, _k, _w, report, *_ in points
+        )
+        assert all(report.qps > 0 for _r, _k, _w, report, *_ in points)
+    # Memory guard: the process pool's *per-worker* RSS must stay flat
+    # as workers grow — the index pages are mmap-shared and answers ride
+    # shared-memory frames, so total RSS should scale ~linearly (each
+    # worker pays its own caches), never superlinearly.  Allow generous
+    # noise: interpreter overhead dominates at this scale.
+    for regime, _queries in regimes:
+        by_workers = {
+            w: rss
+            for r, kind, w, _rep, _h, _t, rss in sweep
+            if r == regime and kind == "process"
+        }
+        lo, hi = by_workers[min(by_workers)], by_workers[max(by_workers)]
+        assert hi <= 1.5 * lo + 32e6, (
+            f"{regime}: per-worker RSS grew from {lo / 1e6:.1f} MB at "
+            f"{min(by_workers)} workers to {hi / 1e6:.1f} MB at "
+            f"{max(by_workers)} — superlinear total growth"
+        )
     # The perf narrative lives in BENCH_pr5.json; bit-identical answers
     # across pool kinds are regression-tested in tests/test_process_pool.py.
 

@@ -195,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
             "many in-flight requests the pool sheds load (Overloaded)"
         ),
     )
+    rep.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help=(
+            "share one decoded-block cache across process/supervised "
+            "workers (each hot keyword is decoded once per machine; "
+            "per-query I/O accounting reports zero reads on shared hits)"
+        ),
+    )
     rep.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
@@ -408,13 +417,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             return ServerPool(index_path, n_workers=args.workers)
         if args.pool == "process":
             return ProcessServerPool(
-                index_path, n_workers=args.workers, request_timeout=args.timeout
+                index_path,
+                n_workers=args.workers,
+                request_timeout=args.timeout,
+                shared_block_cache=args.shared_cache,
             )
         return SupervisedServerPool(
             index_path,
             n_workers=args.workers,
             request_timeout=args.timeout,
             max_inflight=args.max_inflight,
+            shared_block_cache=args.shared_cache,
         )
 
     try:
@@ -442,6 +455,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 if isinstance(pool, SupervisedServerPool)
                 else None
             )
+            if health is not None:
+                rss_bytes = health["rss_bytes"]
+                shm_bytes = health["shm_bytes"]
+            elif isinstance(pool, ProcessServerPool):
+                memory = pool.memory_info()
+                rss_bytes = memory["total_rss_bytes"]
+                shm_bytes = memory["shm_bytes"]
+            else:  # thread pool: the workers live in this process
+                from repro.core.server import process_rss_bytes
+
+                rss_bytes = process_rss_bytes()
+                shm_bytes = 0
     finally:
         if corrupted_copy is not None and os.path.exists(corrupted_copy):
             os.unlink(corrupted_copy)
@@ -467,6 +492,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         "restarts": report.restarts,
         "retries": report.retries,
         "sheds": report.sheds,
+        "rss_bytes": rss_bytes,
+        "shm_bytes": shm_bytes,
         "fault_events": list(report.fault_events),
     }
     if health is not None:
@@ -484,6 +511,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         )
         if hit_ratio is not None:
             print(f"  keyword-cache hit ratio: {hit_ratio:.2f}")
+        print(
+            f"  memory: {payload['rss_bytes'] / 1e6:.1f} MB worker RSS"
+            + (
+                f", {payload['shm_bytes'] / 1e6:.1f} MB shared segments"
+                if payload["shm_bytes"]
+                else ""
+            )
+        )
         if plan is not None or args.timeout:
             print(
                 f"  goodput {payload['goodput']}/{payload['queries']} "

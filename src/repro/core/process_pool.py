@@ -9,17 +9,27 @@ dispatch, sharded batches, warm/evict fan-out, merged stats) but gives
 every worker its *own process*, its own reader, block cache and buffer
 pool, so N shards really execute on N cores.
 
-The request/response path is a tiny pickled protocol over one
-:func:`multiprocessing.Pipe` per worker:
+The request path is a tiny pickled protocol over one
+:func:`multiprocessing.Pipe` per worker — parent → worker messages are
+``(method, payload)`` tuples (queries and plans are plain picklable
+dataclasses; :class:`~repro.core.query.KBTIMQuery` reduces through its
+validating constructor).  The *answer* path is zero-copy: query results
+are laid out as flat arrays in a per-worker shared-memory segment
+(:mod:`repro.core.transport`) and the pipe carries only a tiny
+``("okf", (seq, nbytes, generation))`` acknowledgement; the parent
+reconstructs :class:`~repro.core.results.SeedSelection` objects from
+array slices.  Administrative replies (stats snapshots, warm/evict
+acks) and errors still travel pickled — ``("ok", result)`` /
+``("err", exception)`` — and ``flat_transport=False`` restores the
+pickled answer path wholesale (answers are bit-identical either way).
 
-* parent → worker: ``(method, payload)`` tuples — queries and plans are
-  plain picklable dataclasses (:class:`~repro.core.query.KBTIMQuery`
-  reduces through its validating constructor);
-* worker → parent: ``("ok", result)`` or ``("err", exception)`` —
-  results carry :class:`~repro.core.results.QueryStats` /
-  :class:`~repro.storage.iostats.IOStats` snapshots, and stats requests
-  return :meth:`~repro.core.server.ServerStats.snapshot` copies, all of
-  which pickle without their locks and re-grow fresh ones on arrival.
+Workers can additionally share one machine-wide decoded-block cache
+(``shared_block_cache=True``): the parent creates/attaches a
+:class:`~repro.core.shm_cache.SharedBlockCache` and every worker —
+including restarted workers — *attaches* to it, so each hot keyword is
+PFOR-decoded once per machine instead of once per worker.  Off by
+default because a shared hit legitimately changes per-query I/O
+accounting (zero reads instead of two).
 
 Failure surfacing is first-class: a query-level error raised inside a
 worker (unknown keyword, over-budget ``k``) crosses the pipe with its
@@ -36,6 +46,7 @@ immutable file, and dispatch shares
 
 from __future__ import annotations
 
+import itertools
 import json
 import multiprocessing
 import os
@@ -50,7 +61,15 @@ from repro.core.server import (
     KBTIMServer,
     ServerStats,
     _sharded_batch,
+    process_rss_bytes,
     shard_of_keyword,
+)
+from repro.core.shm_cache import SharedBlockCache, shared_cache_name_for
+from repro.core.transport import (
+    ResponseReader,
+    ResponseWriter,
+    transport_available,
+    unlink_response,
 )
 from repro.errors import (
     CorruptIndexError,
@@ -72,29 +91,53 @@ __all__ = ["ProcessServerPool"]
 _STARTUP_TIMEOUT = 120.0
 
 
-def _worker_main(conn, path: str, worker_id: int, config: dict) -> None:
+def _worker_main(
+    conn, path: str, worker_id: int, config: dict, resp_name: Optional[str] = None
+) -> None:
     """One worker process: a :class:`KBTIMServer` behind a request pipe.
 
     Opens its own reader (and therefore its own buffer pool, I/O
-    counters and caches) over the immutable index file, acknowledges
-    startup, then serves ``(method, payload)`` requests until a
-    ``shutdown`` request or a closed pipe.  Every per-request exception
-    is shipped back to the parent instead of killing the loop, so one
-    bad query never takes down a shard.
+    counters and caches) over the immutable index file, attaches to the
+    machine-wide decoded-block cache when one is configured (attach
+    only — a restarted worker must never re-create shared state),
+    creates its flat-response segment, acknowledges startup, then serves
+    ``(method, payload)`` requests until a ``shutdown`` request or a
+    closed pipe.  Every per-request exception is shipped back to the
+    parent instead of killing the loop, so one bad query never takes
+    down a shard.
     """
     from repro.core.rr_index import RRIndex
     from repro.storage.pager import BufferPool
 
+    shared_cache = None
+    writer = None
     try:
         index_kwargs = dict(config["index_kwargs"])
         index_kwargs["pool"] = BufferPool(config["pool_pages"])
+        cache_name = config.get("shm_cache_name")
+        if cache_name:
+            try:
+                shared_cache = SharedBlockCache(cache_name, create=False)
+            except Exception:
+                # The shared tier is an optimisation: if the directory is
+                # gone (owner shut down first) the worker degrades to
+                # private decodes — answers stay exact.
+                shared_cache = None
+        if shared_cache is not None:
+            index_kwargs["shared_cache"] = shared_cache
         index = RRIndex(path, **index_kwargs)
         server = KBTIMServer(index, cache_keywords=config["cache_keywords"])
+        if resp_name is not None and config.get("flat_transport", True):
+            try:
+                writer = ResponseWriter(resp_name)
+            except OSError:
+                writer = None  # pickle fallback; parent detects via "ok"
     except BaseException as exc:  # startup failure -> surfaced by parent
         _send_result(conn, "err", _portable_exc(exc))
         conn.close()
         return
     _send_result(conn, "ready", os.getpid())
+    seq = 0
     try:
         while True:
             try:
@@ -132,17 +175,34 @@ def _worker_main(conn, path: str, worker_id: int, config: dict) -> None:
                     )
                 continue
             try:
-                result = _dispatch(server, method, payload)
+                result = _dispatch(server, method, payload, shared_cache)
             except BaseException as exc:
                 _send_result(conn, "err", _portable_exc(exc))
+                continue
+            if writer is not None and method in ("query", "query_batch"):
+                batch = result if method == "query_batch" else [result]
+                seq += 1
+                try:
+                    nbytes, generation = writer.write(batch, seq)
+                except Exception:
+                    # A failed flat encode (segment unlinked under us,
+                    # shm exhausted) degrades to the pickled path for
+                    # this answer; the protocol stays framed either way.
+                    _send_result(conn, "ok", result)
+                else:
+                    _send_result(conn, "okf", (seq, nbytes, generation))
             else:
                 _send_result(conn, "ok", result)
     finally:
+        if writer is not None:
+            writer.close(unlink=True)
+        if shared_cache is not None:
+            shared_cache.close()
         server.index.close()
         conn.close()
 
 
-def _dispatch(server: KBTIMServer, method: str, payload):
+def _dispatch(server: KBTIMServer, method: str, payload, shared_cache=None):
     """Execute one request against the worker's server."""
     if method == "query":
         return server.query(payload)
@@ -155,6 +215,13 @@ def _dispatch(server: KBTIMServer, method: str, payload):
         server.evict_all()
         return None
     if method == "stats":
+        # Refresh the memory gauges at snapshot time: RSS measured
+        # in-process, shared bytes from the machine-wide cache (0 when
+        # the shared tier is disabled).
+        server.stats.record_memory(
+            rss_bytes=process_rss_bytes(),
+            shm_bytes=shared_cache.shared_bytes() if shared_cache else 0,
+        )
         return server.stats.snapshot()
     if method == "io_stats":
         return server.index.stats.snapshot()
@@ -198,10 +265,14 @@ class _WorkerHandle:
     requests to different workers run fully in parallel.
     """
 
-    def __init__(self, worker_id: int, process, conn) -> None:
+    def __init__(
+        self, worker_id: int, process, conn, resp_name: Optional[str] = None
+    ) -> None:
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
+        self.resp_name = resp_name
+        self._reader: Optional[ResponseReader] = None
         self.pid: Optional[int] = None
         self.lock = threading.Lock()
         self.closed = False
@@ -238,9 +309,34 @@ class _WorkerHandle:
             except (BrokenPipeError, OSError):
                 raise self._death() from None
             status, result = self._recv(timeout=timeout)
+            if status == "okf":
+                # Flat-frame answer: decode *under the lock* — the
+                # worker reuses one response buffer per request, so the
+                # frame must be consumed before the next send.
+                try:
+                    batch = self._read_frame(result)
+                except ServerError:
+                    # A desynchronised or unreadable frame means parent
+                    # and worker no longer agree on transport state.
+                    self.poisoned = True
+                    raise
+                status = "ok"
+                result = batch[0] if method == "query" else batch
         if status == "err":
             raise result
         return result
+
+    def _read_frame(self, ack) -> List[SeedSelection]:
+        """Decode one acknowledged flat response frame (lock held)."""
+        if self.resp_name is None:
+            raise ServerError(
+                f"server worker {self.worker_id} sent a flat-frame reply "
+                "but no response segment was configured"
+            )
+        if self._reader is None:
+            self._reader = ResponseReader(self.resp_name)
+        seq, nbytes, generation = ack
+        return self._reader.read(seq, nbytes, generation)
 
     def _recv(self, *, timeout: Optional[float], starting: bool = False):
         try:
@@ -314,6 +410,15 @@ class _WorkerHandle:
         if self.process.is_alive():
             self.process.terminate()
             self.process.join(timeout=join_timeout)
+        # Reap the response segment *after* the process is gone.  The
+        # worker unlinks it on graceful shutdown; this covers workers
+        # that were killed or terminated — both sides tolerate the other
+        # having unlinked first, so nothing leaks in /dev/shm.
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        if self.resp_name is not None:
+            unlink_response(self.resp_name)
 
 
 class ProcessServerPool:
@@ -356,6 +461,20 @@ class ProcessServerPool:
         it raises :class:`~repro.errors.ServerError` on the caller.
         ``None`` (default) waits indefinitely — worker *death* is still
         detected immediately via the broken pipe.
+    flat_transport:
+        Ship query answers as flat arrays through per-worker
+        shared-memory segments (:mod:`repro.core.transport`) instead of
+        pickling them through the pipe.  On by default where shared
+        memory exists; answers are bit-identical either way.
+    shared_block_cache:
+        Share one machine-wide :class:`~repro.core.shm_cache.SharedBlockCache`
+        of decoded keyword blocks across all workers (each hot keyword
+        is PFOR-decoded once per machine).  Off by default: a shared
+        hit legitimately reports zero per-query reads where a private
+        decode reports two, so enabling it changes I/O accounting.
+    shm_cache_slots:
+        Directory capacity of the shared block cache (keywords held at
+        once); only meaningful with ``shared_block_cache=True``.
 
     Raises
     ------
@@ -394,12 +513,18 @@ class ProcessServerPool:
         prefix_cache_keywords: Optional[int] = None,
         start_method: Optional[str] = None,
         request_timeout: Optional[float] = None,
+        flat_transport: bool = True,
+        shared_block_cache: bool = False,
+        shm_cache_slots: int = 64,
     ) -> None:
         self.n_workers = check_positive_int("n_workers", n_workers)
         check_positive_int("cache_keywords", cache_keywords)
         self.path = str(path)
         self.request_timeout = request_timeout
         self._closed = False
+        self.flat_transport = bool(flat_transport) and transport_available()
+        self._resp_counter = itertools.count()
+        self._shm_cache: Optional[SharedBlockCache] = None
         # Parent-side catalog: names + topic-id map only, for dispatch
         # and warm routing.  Loaded once and the reader closed *before*
         # spawning, so no open file descriptor leaks into fork children
@@ -412,7 +537,19 @@ class ProcessServerPool:
             "index_kwargs": index_kwargs,
             "cache_keywords": cache_keywords,
             "pool_pages": check_positive_int("pool_pages", pool_pages),
+            "flat_transport": self.flat_transport,
         }
+        if shared_block_cache and transport_available():
+            # The parent creates (or, if another pool over the same file
+            # is already serving, attaches to) the machine-wide cache;
+            # workers always attach only, so a restarted worker can never
+            # re-create or unlink shared state.
+            self._shm_cache = SharedBlockCache(
+                shared_cache_name_for(self.path),
+                slots=check_positive_int("shm_cache_slots", shm_cache_slots),
+                create=True,
+            )
+            self._config["shm_cache_name"] = self._shm_cache.name
 
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -429,21 +566,31 @@ class ProcessServerPool:
         except BaseException:
             for handle in workers:
                 handle.shutdown(join_timeout=1.0)
+            if self._shm_cache is not None:
+                self._shm_cache.close()
             raise
         self._workers: List[_WorkerHandle] = workers
 
     def _start_worker(self, worker_id: int) -> _WorkerHandle:
         """Spawn one worker process (handshake is the caller's job)."""
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        resp_name = None
+        if self.flat_transport:
+            # Parent-assigned and unique per spawn: the parent can reap
+            # the segment even after ``kill -9``, and a restarted worker
+            # never collides with its predecessor's segment.
+            resp_name = (
+                f"kbtim-resp-{os.getpid()}-{worker_id}-{next(self._resp_counter)}"
+            )
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.path, worker_id, self._config),
+            args=(child_conn, self.path, worker_id, self._config, resp_name),
             name=f"kbtim-server-{worker_id}",
             daemon=True,
         )
         process.start()
         child_conn.close()  # the worker owns its end now
-        return _WorkerHandle(worker_id, process, parent_conn)
+        return _WorkerHandle(worker_id, process, parent_conn, resp_name)
 
     def restart_worker(self, shard: int) -> None:
         """Replace one shard's worker with a freshly spawned process.
@@ -686,6 +833,28 @@ class ProcessServerPool:
         ]
 
     @property
+    def shared_cache(self) -> Optional[SharedBlockCache]:
+        """The machine-wide decoded-block cache (``None`` when disabled)."""
+        return self._shm_cache
+
+    def memory_info(self) -> Dict[str, object]:
+        """Parent-measured memory footprint: per-worker RSS + shared bytes.
+
+        Reads each worker's RSS straight from ``/proc`` (no worker
+        round trip, so it works even while shards are busy or dead —
+        a vanished pid reports 0) and the shared block cache's resident
+        segment bytes (counted once; the segments are machine-wide).
+        """
+        self._check_open()
+        per_worker = [process_rss_bytes(handle.pid) for handle in self._workers]
+        shm = self._shm_cache.shared_bytes() if self._shm_cache is not None else 0
+        return {
+            "per_worker_rss_bytes": per_worker,
+            "total_rss_bytes": sum(per_worker),
+            "shm_bytes": shm,
+        }
+
+    @property
     def pids(self) -> List[int]:
         """Worker process ids, in shard order."""
         return [handle.pid for handle in self._workers]
@@ -712,6 +881,11 @@ class ProcessServerPool:
         self._closed = True
         for handle in self._workers:
             handle.shutdown()
+        if self._shm_cache is not None:
+            # Owner pools unlink every shared segment; attached pools
+            # just drop their mappings (the owner cleans up at exit).
+            self._shm_cache.close()
+            self._shm_cache = None
 
     def __enter__(self) -> "ProcessServerPool":
         return self

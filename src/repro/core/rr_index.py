@@ -36,6 +36,7 @@ from repro.core.coverage import lazy_greedy_max_coverage, merge_coverage_csr
 from repro.core.offline import KeywordTable, sample_keyword_tables
 from repro.core.query import KBTIMQuery, resolve_unique
 from repro.core.results import QueryStats, SeedSelection
+from repro.core.shm_cache import SharedBlockCache
 from repro.core.theta import ThetaPolicy
 from repro.errors import CorruptIndexError, IndexError_, QueryError
 from repro.profiles.store import ProfileStore
@@ -424,6 +425,15 @@ class RRIndex:
     and a request for a smaller prefix is served by pure slicing
     (:meth:`KeywordCoverageCSR.clip_prefix`) instead of re-reading and
     re-decoding.  ``prefix_cache_keywords=0`` disables the cache.
+
+    A machine-wide :class:`~repro.core.shm_cache.SharedBlockCache` can be
+    attached via ``shared_cache``: decoded blocks are then published to
+    (and served from) POSIX shared memory, so one PFOR decode feeds every
+    worker process on the machine.  A shared hit performs **zero** disk
+    reads — per-query I/O accounting reflects that — while the first
+    decode still pays the usual two bounded reads.  The shared cache sits
+    *behind* the local prefix-cache LRU: shm-served blocks are admitted
+    locally, so ``clip_prefix`` reuse keeps working unchanged.
     """
 
     def __init__(
@@ -434,9 +444,11 @@ class RRIndex:
         pool: Optional[BufferPool] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         prefix_cache_keywords: int = _PREFIX_CACHE_KEYWORDS,
+        shared_cache: Optional[SharedBlockCache] = None,
     ) -> None:
         self.stats = stats if stats is not None else IOStats()
         self.prefix_cache_keywords = int(prefix_cache_keywords)
+        self.shared_cache = shared_cache
         # keyword -> (decoded set count, decoded block), LRU-bounded.
         # Guarded by _cache_lock: the serving tier calls
         # load_keyword_csr from multiple threads, and OrderedDict's
@@ -572,11 +584,21 @@ class RRIndex:
                 if entry is not None and entry[0] >= count:
                     self._prefix_cache.move_to_end(keyword)
                     return entry[1].clip_prefix(count)
+        if self.shared_cache is not None:
+            shared = self.shared_cache.get(keyword, count)
+            if shared is not None:
+                # Another process on this machine already decoded a
+                # covering prefix: serve it straight from shared memory —
+                # zero disk reads, zero decode.
+                stored_count, views = shared
+                block = KeywordCoverageCSR(*views)
+                self._admit(keyword, stored_count, block)
+                return block.clip_prefix(count)
         _n_sets, group_size, payload_len, payload_start, offsets = self._headers[
             keyword
         ]
         end = RRSetsRecord.prefix_payload_end(offsets, payload_len, group_size, count)
-        payload = self._reader.read_range(f"rr/{keyword}", payload_start, end)
+        payload = self._reader.read_range_view(f"rr/{keyword}", payload_start, end)
         set_ptr, set_vertices = RRSetsRecord.decode_prefix_csr(payload, count)
         if entry is not None:
             # Upgrading a cached smaller prefix: the inverted pairs are
@@ -586,22 +608,43 @@ class RRIndex:
             )
         else:
             keys, inv_ptr, inv_flat = InvertedListsRecord.decode_csr(
-                self._reader.read(f"inv/{keyword}")
+                self._reader.read_view(f"inv/{keyword}")
             )
             block = KeywordCoverageCSR.from_csr_arrays(
                 set_ptr, set_vertices, keys, inv_ptr, inv_flat
             )
-        if cache_cap > 0:
-            with self._cache_lock:
-                # A racing decode of the same keyword may have admitted a
-                # larger prefix already; never downgrade the cached entry.
-                resident = self._prefix_cache.get(keyword)
-                if resident is None or resident[0] < count:
-                    self._prefix_cache[keyword] = (count, block)
-                self._prefix_cache.move_to_end(keyword)
-                if len(self._prefix_cache) > cache_cap:
-                    self._prefix_cache.popitem(last=False)
+        if self.shared_cache is not None:
+            published = self.shared_cache.put(
+                keyword,
+                count,
+                block.set_ptr,
+                block.set_vertices,
+                block.inv_vertices,
+                block.inv_sets,
+            )
+            if published is not None:
+                # Serve (and locally cache) the shared copy so this
+                # process's resident set overlaps every other worker's.
+                stored_count, views = published
+                block = KeywordCoverageCSR(*views)
+                self._admit(keyword, stored_count, block)
+                return block.clip_prefix(count)
+        self._admit(keyword, count, block)
         return block
+
+    def _admit(self, keyword: str, count: int, block: KeywordCoverageCSR) -> None:
+        """Admit a decoded block to the local prefix-cache LRU."""
+        if self.prefix_cache_keywords <= 0:
+            return
+        with self._cache_lock:
+            # A racing decode of the same keyword may have admitted a
+            # larger prefix already; never downgrade the cached entry.
+            resident = self._prefix_cache.get(keyword)
+            if resident is None or resident[0] < count:
+                self._prefix_cache[keyword] = (count, block)
+            self._prefix_cache.move_to_end(keyword)
+            if len(self._prefix_cache) > self.prefix_cache_keywords:
+                self._prefix_cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     def query(self, query: KBTIMQuery) -> SeedSelection:

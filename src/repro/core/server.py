@@ -31,6 +31,7 @@ disk reads and zero decode work.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import zlib
@@ -50,7 +51,13 @@ from repro.storage.iostats import IOStats
 from repro.storage.pager import DEFAULT_PAGE_SIZE, BufferPool
 from repro.utils.validation import check_positive_int
 
-__all__ = ["KBTIMServer", "ServerPool", "ServerStats", "shard_of_keyword"]
+__all__ = [
+    "KBTIMServer",
+    "ServerPool",
+    "ServerStats",
+    "process_rss_bytes",
+    "shard_of_keyword",
+]
 
 
 def shard_of_keyword(name: str, n_shards: int) -> int:
@@ -62,6 +69,32 @@ def shard_of_keyword(name: str, n_shards: int) -> int:
     a keyword, so pre-warmed blocks land where their traffic will.
     """
     return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+def process_rss_bytes(pid: Optional[int] = None) -> int:
+    """Resident-set size of a process in bytes (0 when unmeasurable).
+
+    Reads ``/proc/<pid>/statm`` (Linux; the second field is resident
+    pages), so the parent can measure a *worker's* RSS without a
+    round-trip and a worker can measure its own.  On platforms without
+    procfs, falls back to ``resource.getrusage`` for the current process
+    and returns 0 for others — memory gauges are observability, never
+    correctness, so absence degrades to zero rather than raising.
+    """
+    try:
+        with open(f"/proc/{pid if pid is not None else 'self'}/statm", "rb") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    if pid is None:
+        try:
+            import resource
+
+            return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        except Exception:
+            pass
+    return 0
 
 
 def _sharded_batch(queries, shard_of, run_subbatch, concurrent: bool):
@@ -139,6 +172,12 @@ class ServerStats:
     retries: int = 0
     #: Requests shed by admission control (never dispatched to a worker).
     sheds: int = 0
+    #: Resident-set size of the serving process, in bytes (a gauge,
+    #: refreshed via :meth:`record_memory`; 0 until first refresh).
+    rss_bytes: int = 0
+    #: Bytes of machine-wide shared-memory segments (decoded-block
+    #: cache) visible to this server — a gauge like ``rss_bytes``.
+    shm_bytes: int = 0
     total_seconds: float = 0.0
     latency_window: int = _LATENCY_WINDOW
     _latencies: Deque[float] = field(
@@ -180,6 +219,8 @@ class ServerStats:
                 restarts=self.restarts,
                 retries=self.retries,
                 sheds=self.sheds,
+                rss_bytes=self.rss_bytes,
+                shm_bytes=self.shm_bytes,
                 total_seconds=self.total_seconds,
                 latency_window=self.latency_window,
             )
@@ -256,6 +297,16 @@ class ServerStats:
         with self._lock:
             self.sheds += 1
 
+    def record_memory(self, *, rss_bytes: int, shm_bytes: int = 0) -> None:
+        """Refresh the memory gauges (process RSS, shared-segment bytes).
+
+        Unlike the monotonic counters these are point-in-time gauges;
+        the serving tier refreshes them when a stats snapshot is taken.
+        """
+        with self._lock:
+            self.rss_bytes = int(rss_bytes)
+            self.shm_bytes = int(shm_bytes)
+
     @property
     def hit_ratio(self) -> float:
         """Query-traffic cache hit ratio (0 when idle; warm loads excluded)."""
@@ -281,8 +332,12 @@ class ServerStats:
         Counters and totals sum; the merged latency window is the union
         of every worker's retained samples (its ``latency_window`` is
         sized to hold them all), so pool-level percentiles reflect every
-        retained sample rather than one worker's.  The result is a
-        snapshot — it does not track the workers afterwards.
+        retained sample rather than one worker's.  Memory gauges merge by
+        their sharing semantics: per-process ``rss_bytes`` *sum* (the
+        pool's total resident footprint) while ``shm_bytes`` takes the
+        *maximum* — every worker reports the same machine-wide segments,
+        which must be counted once, not once per worker.  The result is
+        a snapshot — it does not track the workers afterwards.
         """
         merged_window = max(1, sum(p.latency_window for p in parts)) if parts else 1
         out = cls(latency_window=merged_window)
@@ -296,6 +351,8 @@ class ServerStats:
                 out.restarts += part.restarts
                 out.retries += part.retries
                 out.sheds += part.sheds
+                out.rss_bytes += part.rss_bytes
+                out.shm_bytes = max(out.shm_bytes, part.shm_bytes)
                 out.total_seconds += part.total_seconds
                 out._latencies.extend(part._latencies)
         return out

@@ -58,7 +58,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.process_pool import ProcessServerPool
 from repro.core.query import KBTIMQuery, KeywordRef
 from repro.core.results import SeedSelection
-from repro.core.server import ServerStats, _sharded_batch, shard_of_keyword
+from repro.core.server import (
+    ServerStats,
+    _sharded_batch,
+    process_rss_bytes,
+    shard_of_keyword,
+)
 from repro.errors import (
     DeadlineExceededError,
     OverloadedError,
@@ -100,6 +105,9 @@ class ShardHealth:
     restarts: int
     inflight: int
     last_error: Optional[str]
+    #: Worker resident-set size in bytes, measured parent-side from
+    #: ``/proc`` (0 for a dead or unreadable pid).
+    rss_bytes: int = 0
 
     def to_dict(self) -> dict:
         """A JSON-ready view (CLI health/replay reports)."""
@@ -111,6 +119,7 @@ class ShardHealth:
             "restarts": self.restarts,
             "inflight": self.inflight,
             "last_error": self.last_error,
+            "rss_bytes": self.rss_bytes,
         }
 
 
@@ -123,6 +132,9 @@ class PoolHealth:
     max_inflight: Optional[int]
     sheds: int
     restarts: int
+    #: Bytes resident in the machine-wide shared block cache (counted
+    #: once — the segments are shared, not per worker); 0 when disabled.
+    shm_bytes: int = 0
 
     @property
     def available_shards(self) -> int:
@@ -143,6 +155,8 @@ class PoolHealth:
             "max_inflight": self.max_inflight,
             "sheds": self.sheds,
             "restarts": self.restarts,
+            "shm_bytes": self.shm_bytes,
+            "rss_bytes": sum(s.rss_bytes for s in self.shards),
             "shards": [s.to_dict() for s in self.shards],
         }
 
@@ -214,7 +228,12 @@ class SupervisedServerPool:
         ``None`` disables admission control.
     **pool_kwargs:
         Forwarded to :class:`ProcessServerPool` (``cache_keywords``,
-        ``pool_pages``, ``start_method``, ...).
+        ``pool_pages``, ``start_method``, ``flat_transport``,
+        ``shared_block_cache``, ...).  The flat-array answer transport
+        and the shared decoded-block cache are therefore available
+        under supervision unchanged — a supervisor-initiated restart
+        spawns a worker that *attaches* to the existing shared cache
+        and gets a fresh response segment.
 
     Raises
     ------
@@ -709,25 +728,29 @@ class SupervisedServerPool:
                 else:
                     state = SHARD_READY
                 handle = self._pool._workers[sup.shard]
+                alive = handle.process.is_alive()
                 shards.append(
                     ShardHealth(
                         shard=sup.shard,
                         state=state,
-                        alive=handle.process.is_alive(),
+                        alive=alive,
                         pid=handle.pid,
                         restarts=sup.total_restarts,
                         inflight=sup.inflight,
                         last_error=sup.last_error,
+                        rss_bytes=process_rss_bytes(handle.pid) if alive else 0,
                     )
                 )
         with self._admission_lock:
             inflight = self._inflight
+        cache = self._pool.shared_cache
         return PoolHealth(
             shards=tuple(shards),
             inflight=inflight,
             max_inflight=self.max_inflight,
             sheds=self._stats.sheds,
             restarts=self._stats.restarts,
+            shm_bytes=cache.shared_bytes() if cache is not None else 0,
         )
 
     def worker_stats(self) -> List[Optional[ServerStats]]:

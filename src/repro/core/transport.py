@@ -1,0 +1,310 @@
+"""Flat-array response transport for process-level serving workers.
+
+BENCH_pr5.json pinned ~0.15 ms/query of pickle + pipe overhead on the
+answer path of :class:`~repro.core.process_pool.ProcessServerPool`: every
+:class:`~repro.core.results.SeedSelection` (seeds, marginals, nested
+``QueryStats``/``IOStats``) was pickled object-by-object into the pipe.
+This module replaces that with a *flat frame*: the worker lays a whole
+batch of answers out as a handful of contiguous ``int64``/``float64``
+arrays in a per-worker shared-memory segment, and the pipe carries only a
+tiny ``("okf", (seq, nbytes, generation))`` acknowledgement.  The parent
+maps the segment once and reconstructs result objects from array slices —
+no per-object pickle bytes ever cross the pipe.
+
+Frame layout (little-endian, 8-byte words)::
+
+    header   int64[4]    magic, seq, n_queries, total_seeds
+    qptr     int64[n+1]  per-query seed-count prefix sum
+    seeds    int64[S]    all seed ids, back to back
+    marg     int64[S]    marginal coverages, aligned with seeds
+    theta    int64[n]
+    ints     int64[n,9]  rr_considered, rr_loaded, partitions,
+                         read_calls, pages_read, pages_hit, bytes_read,
+                         write_calls, bytes_written
+    floats   f64[n,2]    phi_q, elapsed_seconds
+
+Protocol invariants:
+
+* the pipe stays a strict request/response channel — the parent reads a
+  frame only after receiving the matching acknowledgement, so one
+  response buffer per worker suffices (no ring indexing needed) and the
+  existing deadline/poisoning semantics are untouched;
+* ``seq`` is echoed in the frame header and checked by the reader — a
+  desynchronised or torn frame surfaces as a typed error, never as a
+  silently wrong answer;
+* the segment grows by unlink + recreate under the *same name* with a
+  bumped ``generation``; the parent reattaches when the acknowledged
+  generation is newer than its mapping.
+
+Ownership: the worker creates (and on graceful shutdown unlinks) its
+response segment; the parent also unlinks it when reaping the worker —
+both tolerate the other having done it first, so a killed worker leaks
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.results import QueryStats, SeedSelection
+from repro.core.shm_cache import _HAVE_SHM, _Segment, _untrack, _unlink_quietly
+from repro.errors import ServerError
+from repro.storage.iostats import IOStats
+
+__all__ = ["ResponseWriter", "ResponseReader", "unlink_response"]
+
+_FRAME_MAGIC = 0x4B42_5449_4D52_5350  # "KBTIMRSP"
+_HEADER_WORDS = 4
+_INT_COLS = 9
+_FLOAT_COLS = 2
+
+#: Initial response-segment size; covers typical batches without a grow.
+_INITIAL_BYTES = 64 * 1024
+
+
+def transport_available() -> bool:
+    """Whether POSIX shared memory is usable on this platform."""
+    return _HAVE_SHM
+
+
+def unlink_response(name: str) -> None:
+    """Unlink one response segment by name, tolerating its absence.
+
+    Called by the parent when reaping a worker (the worker may have
+    already unlinked it on graceful shutdown — or never created it).
+    """
+    if not _HAVE_SHM:
+        return
+    try:
+        shm = _Segment(name=name)
+    except (FileNotFoundError, OSError):
+        return
+    _untrack(name)
+    _unlink_quietly(shm)
+    shm.close()
+
+
+def _frame_nbytes(n: int, total_seeds: int) -> int:
+    """Exact byte length of a frame holding ``n`` answers."""
+    words = (
+        _HEADER_WORDS
+        + (n + 1)
+        + 2 * total_seeds
+        + n
+        + n * _INT_COLS
+        + n * _FLOAT_COLS
+    )
+    return words * 8
+
+
+class ResponseWriter:
+    """Worker-side owner of one response segment.
+
+    Parameters
+    ----------
+    name:
+        Shared-memory name for the segment (assigned by the parent so it
+        can be unlinked even if this process is killed).
+    initial_bytes:
+        Starting segment size; grows geometrically as needed.
+
+    Raises
+    ------
+    OSError
+        If the segment cannot be created (caller falls back to pickle).
+    """
+
+    def __init__(self, name: str, *, initial_bytes: int = _INITIAL_BYTES) -> None:
+        if not _HAVE_SHM:
+            raise OSError("shared memory unavailable")
+        self.name = name
+        self.generation = 0
+        self._shm = _Segment(name=name, create=True, size=initial_bytes)
+        _untrack(name)
+        self._closed = False
+
+    def _ensure_capacity(self, nbytes: int) -> None:
+        """Grow the segment (same name, new generation) to fit ``nbytes``."""
+        if self._shm.size >= nbytes:
+            return
+        size = self._shm.size
+        while size < nbytes:
+            size *= 2
+        _unlink_quietly(self._shm)
+        self._shm.close()
+        self._shm = _Segment(name=self.name, create=True, size=size)
+        _untrack(self.name)
+        self.generation += 1
+
+    def write(self, selections: Sequence[SeedSelection], seq: int) -> Tuple[int, int]:
+        """Lay a batch of answers out as one flat frame.
+
+        Returns ``(nbytes, generation)`` for the pipe acknowledgement.
+        The parent must not be reading concurrently (guaranteed by the
+        strict request/response pipe framing).
+        """
+        n = len(selections)
+        counts = [len(s.seeds) for s in selections]
+        total_seeds = sum(counts)
+        nbytes = _frame_nbytes(n, total_seeds)
+        self._ensure_capacity(nbytes)
+        words = np.frombuffer(self._shm.buf, dtype="<i8", count=nbytes // 8)
+        words[0] = _FRAME_MAGIC
+        words[1] = seq
+        words[2] = n
+        words[3] = total_seeds
+        pos = _HEADER_WORDS
+        qptr = words[pos : pos + n + 1]
+        qptr[0] = 0
+        np.cumsum(np.asarray(counts, dtype=np.int64), out=qptr[1:])
+        pos += n + 1
+        seeds = words[pos : pos + total_seeds]
+        pos += total_seeds
+        marg = words[pos : pos + total_seeds]
+        pos += total_seeds
+        theta = words[pos : pos + n]
+        pos += n
+        ints = words[pos : pos + n * _INT_COLS].reshape(n, _INT_COLS)
+        pos += n * _INT_COLS
+        floats = np.frombuffer(
+            self._shm.buf, dtype="<f8", count=n * _FLOAT_COLS, offset=pos * 8
+        ).reshape(n, _FLOAT_COLS)
+        for i, sel in enumerate(selections):
+            lo, hi = int(qptr[i]), int(qptr[i + 1])
+            seeds[lo:hi] = sel.seeds
+            marg[lo:hi] = sel.marginal_coverages
+            theta[i] = sel.theta
+            st = sel.stats
+            io = st.io
+            ints[i] = (
+                st.rr_sets_considered,
+                st.rr_sets_loaded,
+                st.partitions_loaded,
+                io.read_calls,
+                io.pages_read,
+                io.pages_hit,
+                io.bytes_read,
+                io.write_calls,
+                io.bytes_written,
+            )
+            floats[i, 0] = sel.phi_q
+            floats[i, 1] = st.elapsed_seconds
+        return nbytes, self.generation
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Detach (and by default unlink) the segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if unlink:
+            _unlink_quietly(self._shm)
+        self._shm.close()
+
+
+class ResponseReader:
+    """Parent-side view of one worker's response segment.
+
+    Attaches lazily on the first acknowledged frame and reattaches
+    whenever the worker grew the segment (newer generation).  All decode
+    errors surface as :class:`~repro.errors.ServerError` — a torn or
+    desynchronised frame must never be silently delivered.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._shm: Optional[_Segment] = None
+        self._generation = -1
+
+    def _attach(self, generation: int) -> "_Segment":
+        """Map the segment, refreshing a stale-generation mapping."""
+        if self._shm is not None and generation == self._generation:
+            return self._shm
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        try:
+            self._shm = _Segment(name=self.name)
+        except (FileNotFoundError, OSError) as exc:
+            raise ServerError(
+                f"response segment {self.name!r} is unavailable: {exc}"
+            ) from None
+        _untrack(self.name)
+        self._generation = generation
+        return self._shm
+
+    def read(self, seq: int, nbytes: int, generation: int) -> List[SeedSelection]:
+        """Decode one acknowledged frame into result objects.
+
+        Parameters mirror the pipe acknowledgement.  Raises
+        :class:`~repro.errors.ServerError` on any header mismatch
+        (magic, sequence number, length).
+        """
+        shm = self._attach(generation)
+        if nbytes > shm.size:
+            raise ServerError(
+                f"response frame of {nbytes} bytes exceeds segment "
+                f"{self.name!r} ({shm.size} bytes)"
+            )
+        words = np.frombuffer(shm.buf, dtype="<i8", count=nbytes // 8)
+        if int(words[0]) != _FRAME_MAGIC or int(words[1]) != seq:
+            raise ServerError(
+                f"response segment {self.name!r} frame header mismatch "
+                f"(expected seq {seq}) — transport desynchronised"
+            )
+        n = int(words[2])
+        total_seeds = int(words[3])
+        if _frame_nbytes(n, total_seeds) != nbytes:
+            raise ServerError(
+                f"response segment {self.name!r} frame length mismatch"
+            )
+        pos = _HEADER_WORDS
+        qptr = words[pos : pos + n + 1]
+        pos += n + 1
+        seeds = words[pos : pos + total_seeds]
+        pos += total_seeds
+        marg = words[pos : pos + total_seeds]
+        pos += total_seeds
+        theta = words[pos : pos + n]
+        pos += n
+        ints = words[pos : pos + n * _INT_COLS].reshape(n, _INT_COLS)
+        pos += n * _INT_COLS
+        floats = np.frombuffer(
+            shm.buf, dtype="<f8", count=n * _FLOAT_COLS, offset=pos * 8
+        ).reshape(n, _FLOAT_COLS)
+        out: List[SeedSelection] = []
+        for i in range(n):
+            lo, hi = int(qptr[i]), int(qptr[i + 1])
+            row = ints[i]
+            io = IOStats(
+                read_calls=int(row[3]),
+                pages_read=int(row[4]),
+                pages_hit=int(row[5]),
+                bytes_read=int(row[6]),
+                write_calls=int(row[7]),
+                bytes_written=int(row[8]),
+            )
+            stats = QueryStats(
+                elapsed_seconds=float(floats[i, 1]),
+                rr_sets_considered=int(row[0]),
+                rr_sets_loaded=int(row[1]),
+                partitions_loaded=int(row[2]),
+                io=io,
+            )
+            out.append(
+                SeedSelection(
+                    seeds=tuple(int(s) for s in seeds[lo:hi]),
+                    marginal_coverages=tuple(int(m) for m in marg[lo:hi]),
+                    theta=int(theta[i]),
+                    phi_q=float(floats[i, 0]),
+                    stats=stats,
+                )
+            )
+        return out
+
+    def close(self) -> None:
+        """Drop the mapping (the segment itself belongs to the worker)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None

@@ -9,6 +9,17 @@ I/O claims become measurements:
   files of one index so repeated partition touches hit memory;
 * every logical read is accounted on an :class:`~repro.storage.IOStats`.
 
+The data path is zero-copy where the platform allows: a non-empty file is
+``mmap``-ed read-only, so every process serving the same immutable index
+shares one OS page cache and :meth:`PagedFile.read_view` hands out
+``memoryview`` slices straight into the map with no intermediate ``bytes``.
+The :class:`BufferPool` still models *residency* for mapped files — it
+tracks which pages the reader has touched (a lightweight sentinel instead
+of a 4 KiB payload copy) so pages-read / pages-hit accounting, including
+eviction-driven re-reads, is bit-identical to the copying implementation.
+Files that cannot be mapped (empty files, exotic filesystems) fall back to
+positioned reads with real page payloads in the pool.
+
 Both classes are thread-safe: the serving tier reads from multiple
 threads, so physical reads are positioned (``os.pread`` where available —
 no shared seek cursor to race on) and the pool's LRU bookkeeping happens
@@ -17,6 +28,7 @@ under a small internal lock.
 
 from __future__ import annotations
 
+import mmap
 import os
 import threading
 from collections import OrderedDict
@@ -35,6 +47,11 @@ DEFAULT_PAGE_SIZE = 4096
 #: when server pools open many readers concurrently).
 _ID_LOCK = threading.Lock()
 
+#: Residency sentinel stored in the pool for mmap-backed pages: the page
+#: payload lives in the shared map (and the OS page cache), so the pool
+#: only needs to remember *that* the page is resident, not its bytes.
+_MAPPED_PAGE: bytes = b"\x00"
+
 
 class BufferPool:
     """Fixed-capacity LRU page cache keyed by ``(file_id, page_number)``.
@@ -42,8 +59,11 @@ class BufferPool:
     Thread-safe: one pool is shared by every reader of an index — and,
     under :class:`~repro.core.server.ServerPool`, by several server
     workers — so the LRU order, the page map, and the per-file index
-    mutate under one internal lock.  Page payloads are immutable
-    ``bytes``, so a returned page never needs the lock again.
+    mutate under one internal lock.  Entries are immutable ``bytes``:
+    full page payloads for files read through the positioned-read
+    fallback, or a one-byte residency sentinel for ``mmap``-backed files
+    (the payload already lives in the shared map).  A returned entry
+    never needs the lock again.
     """
 
     def __init__(self, capacity_pages: int = 1024) -> None:
@@ -97,6 +117,12 @@ class BufferPool:
 class PagedFile:
     """Read-only byte-range access to a file with page-granular faulting.
 
+    Non-empty files are ``mmap``-ed read-only (sharing the OS page cache
+    across every process serving the same index); empty files and
+    platforms where mapping fails fall back to positioned reads that
+    cache page payloads in the pool.  Accounting is identical in both
+    modes — the pool tracks page residency with LRU eviction either way.
+
     Parameters
     ----------
     path:
@@ -109,6 +135,10 @@ class PagedFile:
         omitted.
     page_size:
         Fault granularity in bytes.
+    use_mmap:
+        ``None`` (default) maps the file when possible; ``False`` forces
+        the positioned-read fallback (used by tests to pin that both
+        paths return identical bytes and identical accounting).
     """
 
     _next_file_id = 0
@@ -120,6 +150,7 @@ class PagedFile:
         stats: Optional[IOStats] = None,
         pool: Optional[BufferPool] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        use_mmap: Optional[bool] = None,
     ) -> None:
         if page_size < 16:
             raise StorageError(f"page_size must be >= 16, got {page_size}")
@@ -134,9 +165,25 @@ class PagedFile:
         # (platforms without pread) serialises on one.
         self._use_pread = hasattr(os, "pread")
         self._io_lock = threading.Lock()
+        self._map: Optional[mmap.mmap] = None
+        self._view: Optional[memoryview] = None
+        if use_mmap is not False and self.size > 0:
+            try:
+                self._map = mmap.mmap(
+                    self._fh.fileno(), 0, access=mmap.ACCESS_READ
+                )
+                self._view = memoryview(self._map)
+            except (OSError, ValueError):
+                self._map = None
+                self._view = None
         with _ID_LOCK:
             self._file_id = PagedFile._next_file_id
             PagedFile._next_file_id += 1
+
+    @property
+    def mapped(self) -> bool:
+        """Whether reads are served from an ``mmap`` of the file."""
+        return self._map is not None
 
     # ------------------------------------------------------------------
     def _read_page(self, page_no: int) -> bytes:
@@ -147,41 +194,120 @@ class PagedFile:
             self._fh.seek(page_no * self.page_size)
             return self._fh.read(self.page_size)
 
-    # ------------------------------------------------------------------
-    def read(self, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes at ``offset`` as one logical I/O."""
+    def _check_range(self, offset: int, length: int, verb: str) -> None:
+        """Validate a byte range against the file size."""
         if offset < 0 or length < 0:
             raise StorageError("offset and length must be non-negative")
         if offset + length > self.size:
             raise StorageError(
-                f"read past end of file: offset={offset} length={length} "
+                f"{verb} past end of file: offset={offset} length={length} "
                 f"size={self.size}"
             )
-        if length == 0:
-            self.stats.record_read(pages_read=0, pages_hit=0, nbytes=0)
-            return b""
 
+    def _touch_mapped_pages(self, offset: int, length: int) -> None:
+        """Account page residency for a mapped read (no payload copies).
+
+        Pages absent from the pool count as physical reads (the first
+        touch — or a re-touch after LRU eviction — faults the range from
+        the OS page cache); resident pages count as hits.  The sequence
+        of pool operations mirrors the copying path exactly, so eviction
+        behaviour and the pages-read / pages-hit split stay bit-identical.
+        """
         first_page = offset // self.page_size
         last_page = (offset + length - 1) // self.page_size
-        chunks = []
         pages_read = 0
         pages_hit = 0
         for page_no in range(first_page, last_page + 1):
             key = (self._file_id, page_no)
+            if self.pool.get(key) is None:
+                self.pool.put(key, _MAPPED_PAGE)
+                pages_read += 1
+            else:
+                pages_hit += 1
+        self.stats.record_read(
+            pages_read=pages_read, pages_hit=pages_hit, nbytes=length
+        )
+
+    def _assemble(self, offset: int, length: int) -> memoryview:
+        """Fallback read path: gather pages into one contiguous view.
+
+        Single-page reads return a slice of the cached page directly; a
+        multi-page range is written into one pre-sized ``bytearray``
+        (no intermediate ``bytes`` concatenation).
+        """
+        first_page = offset // self.page_size
+        last_page = (offset + length - 1) // self.page_size
+        start = offset - first_page * self.page_size
+        pages_read = 0
+        pages_hit = 0
+        if first_page == last_page:
+            key = (self._file_id, first_page)
             page = self.pool.get(key)
             if page is None:
-                page = self._read_page(page_no)
+                page = self._read_page(first_page)
                 self.pool.put(key, page)
                 pages_read += 1
             else:
                 pages_hit += 1
-            chunks.append(page)
-        blob = b"".join(chunks)
-        start = offset - first_page * self.page_size
+            out = memoryview(page)[start : start + length]
+        else:
+            buf = bytearray(length)
+            pos = 0
+            for page_no in range(first_page, last_page + 1):
+                key = (self._file_id, page_no)
+                page = self.pool.get(key)
+                if page is None:
+                    page = self._read_page(page_no)
+                    self.pool.put(key, page)
+                    pages_read += 1
+                else:
+                    pages_hit += 1
+                lo = start if page_no == first_page else 0
+                hi = min(len(page), lo + (length - pos))
+                buf[pos : pos + (hi - lo)] = page[lo:hi]
+                pos += hi - lo
+            out = memoryview(buf)
         self.stats.record_read(
             pages_read=pages_read, pages_hit=pages_hit, nbytes=length
         )
-        return blob[start : start + length]
+        return out
+
+    # ------------------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` as one logical I/O."""
+        self._check_range(offset, length, "read")
+        if length == 0:
+            self.stats.record_read(pages_read=0, pages_hit=0, nbytes=0)
+            return b""
+        if self._map is not None:
+            self._touch_mapped_pages(offset, length)
+            return self._map[offset : offset + length]
+        return bytes(self._assemble(offset, length))
+
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """Read ``length`` bytes at ``offset`` as a zero-copy ``memoryview``.
+
+        On an ``mmap``-backed file the returned view aliases the map
+        directly — no bytes are materialised, and decoders consuming the
+        view (``np.frombuffer``, struct unpacking, slicing) read straight
+        from the OS page cache.  On the fallback path the view covers a
+        private buffer assembled from pooled pages.  Accounting (one
+        ``read_call``, physical/hit page counts) is identical to
+        :meth:`read`.
+
+        The view is read-only for mapped files.  Callers must not hold
+        views past :meth:`close` plus the lifetime of any arrays decoded
+        from them; :meth:`close` tolerates (and defers unmapping for)
+        still-referenced views.
+        """
+        self._check_range(offset, length, "read_view")
+        if length == 0:
+            self.stats.record_read(pages_read=0, pages_hit=0, nbytes=0)
+            return memoryview(b"")
+        if self._view is not None:
+            self._touch_mapped_pages(offset, length)
+            return self._view[offset : offset + length]
+        return self._assemble(offset, length)
 
     def prefetch(self, offset: int, length: int, budget: Optional[int] = None) -> int:
         """Fault the pages covering ``[offset, offset+length)`` into the pool.
@@ -197,15 +323,11 @@ class PagedFile:
         larger than the pool.  ``budget`` tightens that cap further (it
         never loosens it) so a *batch* of prefetch calls can share one
         allowance; callers chain it through the returned fetch counts.
+        On mapped files the payload fetch is a best-effort ``madvise``
+        (``MADV_WILLNEED``) — residency accounting is unchanged.
         Returns the number of pages fetched.
         """
-        if offset < 0 or length < 0:
-            raise StorageError("offset and length must be non-negative")
-        if offset + length > self.size:
-            raise StorageError(
-                f"prefetch past end of file: offset={offset} length={length} "
-                f"size={self.size}"
-            )
+        self._check_range(offset, length, "prefetch")
         cap = max(1, self.pool.capacity_pages // 2)
         if budget is not None:
             cap = min(cap, budget)
@@ -214,23 +336,57 @@ class PagedFile:
         first_page = offset // self.page_size
         last_page = (offset + length - 1) // self.page_size
         pages_read = 0
+        first_fetched = -1
         for page_no in range(first_page, last_page + 1):
             key = (self._file_id, page_no)
             if key in self.pool:
                 continue
             if pages_read >= cap:
                 break
-            self.pool.put(key, self._read_page(page_no))
+            if self._map is not None:
+                self.pool.put(key, _MAPPED_PAGE)
+            else:
+                self.pool.put(key, self._read_page(page_no))
+            if first_fetched < 0:
+                first_fetched = page_no
             pages_read += 1
+        if pages_read and self._map is not None:
+            # Hint the kernel; alignment/option support varies, so this
+            # is advisory in the strictest sense.
+            try:
+                gran = mmap.ALLOCATIONGRANULARITY
+                lo = (first_fetched * self.page_size) // gran * gran
+                hi = min(self.size, (first_fetched + pages_read) * self.page_size)
+                self._map.madvise(mmap.MADV_WILLNEED, lo, hi - lo)
+            except (AttributeError, OSError, ValueError):
+                pass
         self.stats.record_read(pages_read=pages_read, pages_hit=0, nbytes=0)
         return pages_read
 
     def close(self) -> None:
-        """Close the file handle and drop its cached pages."""
+        """Close the file handle, unmap, and drop cached pages.
+
+        If decoded arrays still alias the map (zero-copy views handed
+        out by :meth:`read_view`), the unmap is deferred to garbage
+        collection instead of raising ``BufferError`` — the map stays
+        valid exactly as long as something references it.
+        """
         if self._fh is not None:
             self._fh.close()
             self._fh = None  # type: ignore[assignment]
             self.pool.invalidate_file(self._file_id)
+        if self._map is not None:
+            try:
+                if self._view is not None:
+                    self._view.release()
+                self._map.close()
+            except BufferError:
+                # Live exports (numpy views over the map) keep the
+                # mapping alive; dropping our references lets GC unmap
+                # once the last array dies.
+                pass
+            self._view = None
+            self._map = None
 
     def __enter__(self) -> "PagedFile":
         return self
@@ -241,5 +397,5 @@ class PagedFile:
     def __repr__(self) -> str:
         return (
             f"PagedFile({self.path!r}, size={self.size}, "
-            f"page_size={self.page_size})"
+            f"page_size={self.page_size}, mapped={self.mapped})"
         )

@@ -15,8 +15,10 @@ first-occurrence maps.  This module provides the container:
 ```
 
 Writers stream segments sequentially (index construction is append-only);
-readers memory-map nothing and fetch byte ranges through a
-:class:`~repro.storage.pager.PagedFile`, so every access is accounted.
+readers fetch byte ranges through a
+:class:`~repro.storage.pager.PagedFile` — ``mmap``-backed where the
+platform allows — so every access is accounted, and the ``*_view``
+accessors hand decoders zero-copy ``memoryview`` slices of the map.
 Per-segment CRCs catch torn writes and give
 :class:`~repro.errors.CorruptIndexError` a concrete meaning.
 """
@@ -209,6 +211,24 @@ class SegmentReader:
             )
         return payload
 
+    def read_view(self, name: str) -> memoryview:
+        """Read a full segment as a zero-copy ``memoryview``, CRC-checked.
+
+        On an ``mmap``-backed file the view aliases the map — decoders
+        consume it without any intermediate ``bytes`` materialisation.
+        Accounting is identical to :meth:`read` (one logical I/O, same
+        page counts).  See
+        :meth:`repro.storage.pager.PagedFile.read_view` for lifetime
+        rules.
+        """
+        info = self.info(name)
+        payload = self._file.read_view(info.offset, info.length)
+        if zlib.crc32(payload) != info.crc32:
+            raise CorruptIndexError(
+                f"{self._file.path}: segment {name!r} checksum mismatch"
+            )
+        return payload
+
     def read_range(self, name: str, start: int, length: int) -> bytes:
         """Read ``length`` bytes at ``start`` *within* a segment.
 
@@ -223,6 +243,21 @@ class SegmentReader:
                 f"{name!r} of length {info.length}"
             )
         return self._file.read(info.offset + start, length)
+
+    def read_range_view(self, name: str, start: int, length: int) -> memoryview:
+        """Zero-copy variant of :meth:`read_range`.
+
+        Returns a ``memoryview`` of ``length`` bytes at ``start`` within
+        the segment, aliasing the file map where possible.  Like
+        :meth:`read_range`, partial reads cannot be CRC-verified.
+        """
+        info = self.info(name)
+        if start < 0 or length < 0 or start + length > info.length:
+            raise StorageError(
+                f"range [{start}, {start + length}) outside segment "
+                f"{name!r} of length {info.length}"
+            )
+        return self._file.read_view(info.offset + start, length)
 
     @property
     def prefetch_page_budget(self) -> int:

@@ -16,6 +16,7 @@ The acceptance criteria of the robustness PR are pinned here end to end:
 """
 
 import json
+import os
 import time
 
 import pytest
@@ -167,6 +168,54 @@ class TestInjectedFaults:
         assert [e["kind"] for e in report.fault_events] == ["kill"]
         assert report.fault_events[0]["shard"] == victim
         assert "killed" in report.fault_events[0]["effect"]
+
+    def test_kill_with_shared_cache_reattaches_and_leaks_nothing(
+        self, setup, workload, expected
+    ):
+        """Kill a worker while the machine-wide decoded-block cache is
+        live.  The supervisor's replacement worker must *reattach* to
+        the existing shared segments (never re-create or unlink them),
+        answers must match the unfaulted run, and closing the pool must
+        leave ``/dev/shm`` empty — a killed worker can leak neither its
+        response segment nor cache blocks."""
+        from repro.core.shm_cache import shared_cache_name_for
+        from repro.core.transport import transport_available
+
+        if not transport_available():
+            pytest.skip("POSIX shared memory unavailable")
+        path, _profiles, _ppath = setup
+        cache_name = shared_cache_name_for(path)
+        with SupervisedServerPool(
+            path,
+            n_workers=3,
+            restart_backoff=0.0,
+            shared_block_cache=True,
+        ) as pool:
+            victim = pool.shard_of(workload[10])
+            plan = FaultPlan(events=(FaultEvent("kill", 8, shard=victim),))
+            report = replay(pool, workload, chaos=plan)
+            cache = pool.pool.shared_cache
+            keywords_after_kill = cache.keywords()
+            shm_bytes = cache.shared_bytes()
+            health = pool.health()
+        assert report.n_failed == 0
+        assert report.restarts == 1
+        for got, want in zip(report.results, expected):
+            assert got.seeds == want.seeds
+            assert got.marginal_coverages == want.marginal_coverages
+            assert got.theta == want.theta
+        # The kill did not take the shared cache down with the worker.
+        assert len(keywords_after_kill) > 0
+        assert shm_bytes > 0
+        assert health.shm_bytes == shm_bytes
+        leftovers = [
+            entry
+            for entry in (
+                os.listdir("/dev/shm") if os.path.isdir("/dev/shm") else []
+            )
+            if entry.startswith(cache_name) or entry.startswith("kbtim-resp-")
+        ]
+        assert leftovers == []
 
     def test_delay_poisons_pipe_then_restart_resynchronizes(self, setup):
         path, _profiles, _ppath = setup

@@ -226,3 +226,66 @@ class TestPrefetch:
             assert f.prefetch(0, 8 * 1024, budget=0) == 0
             # budget never loosens the half-capacity cap
             assert f.prefetch(0, 12 * 1024, budget=100) <= 4
+
+
+class TestMmapViews:
+    """PR 8: mmap-backed reads and zero-copy views.
+
+    The mapped path must be byte- and *accounting*-identical to the
+    copying fallback — same payloads, same pages_read/pages_hit
+    sequences including eviction-driven re-reads.
+    """
+
+    def test_nonempty_file_is_mapped_by_default(self, data_file):
+        with PagedFile(data_file) as f:
+            assert f.mapped
+
+    def test_use_mmap_false_forces_fallback(self, data_file):
+        with PagedFile(data_file, use_mmap=False) as f:
+            assert not f.mapped
+            assert f.read(100, 300) == (bytes(range(256)) * 64)[100:400]
+
+    def test_read_view_is_zero_copy_and_equal_to_read(self, data_file):
+        with PagedFile(data_file) as f:
+            view = f.read_view(1000, 5000)
+            assert isinstance(view, memoryview)
+            assert bytes(view) == f.read(1000, 5000)
+            assert view.readonly
+
+    def test_read_view_fallback_parity(self, data_file):
+        with PagedFile(data_file, use_mmap=False) as fallback:
+            with PagedFile(data_file) as mapped:
+                for offset, length in ((0, 1), (4095, 2), (1000, 9000)):
+                    assert bytes(fallback.read_view(offset, length)) == bytes(
+                        mapped.read_view(offset, length)
+                    )
+
+    def test_accounting_identical_mapped_vs_fallback(self, data_file):
+        reads = ((0, 4096), (0, 4096), (8000, 100), (0, 16384), (12288, 4096))
+        stats_by_mode = []
+        for use_mmap in (True, False):
+            stats = IOStats()
+            pool = BufferPool(capacity_pages=2)  # small: forces evictions
+            with PagedFile(
+                data_file, stats=stats, pool=pool, use_mmap=use_mmap
+            ) as f:
+                assert f.mapped is use_mmap
+                for offset, length in reads:
+                    f.read(offset, length)
+            stats_by_mode.append(
+                (stats.read_calls, stats.pages_read, stats.pages_hit, stats.bytes_read)
+            )
+        assert stats_by_mode[0] == stats_by_mode[1]
+
+    def test_view_outlives_reads_until_close(self, data_file):
+        f = PagedFile(data_file)
+        view = f.read_view(0, 256)
+        assert bytes(view) == bytes(range(256))
+        view.release()  # callers must release views before close()
+        f.close()
+
+    def test_close_with_live_view_does_not_crash(self, data_file):
+        f = PagedFile(data_file)
+        view = f.read_view(0, 16)
+        f.close()  # must tolerate the exported pointer (BufferError path)
+        assert bytes(view) == bytes(range(16))

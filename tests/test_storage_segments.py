@@ -144,3 +144,45 @@ class TestCorruption:
         index_path.write_bytes(bytes(data))
         with pytest.raises(CorruptIndexError):
             SegmentReader(index_path)
+
+
+class TestViewReads:
+    """PR 8: zero-copy segment accessors (read_view / read_range_view)."""
+
+    def test_read_view_matches_read_and_checks_crc(self, index_path):
+        with SegmentReader(index_path) as reader:
+            view = reader.read_view("alpha")
+            assert isinstance(view, memoryview)
+            assert bytes(view) == reader.read("alpha") == b"hello world"
+
+    def test_read_range_view_matches_read_range(self, index_path):
+        with SegmentReader(index_path) as reader:
+            assert bytes(reader.read_range_view("alpha", 6, 5)) == b"world"
+            assert reader.read_range("alpha", 6, 5) == b"world"
+
+    def test_read_range_view_bounds_checked(self, index_path):
+        with SegmentReader(index_path) as reader:
+            with pytest.raises(StorageError, match="outside segment"):
+                reader.read_range_view("alpha", 8, 10)
+
+    def test_view_accounting_matches_bytes_accounting(self, index_path):
+        copy_stats = IOStats()
+        view_stats = IOStats()
+        with SegmentReader(index_path, stats=copy_stats) as reader:
+            reader.read("beta/0")
+        with SegmentReader(index_path, stats=view_stats) as reader:
+            reader.read_view("beta/0")
+        assert copy_stats.read_calls == view_stats.read_calls
+        assert copy_stats.pages_read == view_stats.pages_read
+        assert copy_stats.bytes_read == view_stats.bytes_read
+
+    def test_corrupt_payload_fails_view_crc(self, tmp_path):
+        path = tmp_path / "corrupt.idx"
+        with SegmentWriter(path) as writer:
+            writer.add("alpha", b"hello world")
+        raw = bytearray(path.read_bytes())
+        raw[12] ^= 0xFF  # flip a payload byte, leave the TOC intact
+        path.write_bytes(bytes(raw))
+        with SegmentReader(path) as reader:
+            with pytest.raises(CorruptIndexError, match="checksum"):
+                reader.read_view("alpha")
