@@ -37,6 +37,7 @@ from repro.core import (
     BuildReport,
     ChaosController,
     CoverageInstance,
+    Dispatcher,
     FaultEvent,
     FaultPlan,
     IRRIndex,
@@ -50,6 +51,7 @@ from repro.core import (
     QueryStats,
     RRIndex,
     RRIndexBuilder,
+    RendezvousDispatcher,
     SeedSelection,
     ServerPool,
     ShardHealth,
@@ -116,6 +118,8 @@ __all__ = [
     "ServerPool",
     "ProcessServerPool",
     "SupervisedServerPool",
+    "Dispatcher",
+    "RendezvousDispatcher",
     "ShardHealth",
     "PoolHealth",
     "FaultEvent",

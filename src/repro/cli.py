@@ -152,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--workers", type=int, default=4, help="pool shard count")
     rep.add_argument(
+        "--dispatch",
+        choices=("crc32", "rendezvous"),
+        default="crc32",
+        help=(
+            "query-to-shard policy: the static crc32 keyword map, or "
+            "load-aware weighted rendezvous hashing with hot-keyword "
+            "replication (answers are identical either way)"
+        ),
+    )
+    rep.add_argument(
         "--threads", type=int, default=4, help="closed-loop client concurrency"
     )
     rep.add_argument("--n-queries", type=int, default=48, help="stream length")
@@ -414,17 +424,21 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
     def open_pool():
         if args.pool == "thread":
-            return ServerPool(index_path, n_workers=args.workers)
+            return ServerPool(
+                index_path, n_workers=args.workers, dispatch=args.dispatch
+            )
         if args.pool == "process":
             return ProcessServerPool(
                 index_path,
                 n_workers=args.workers,
+                dispatch=args.dispatch,
                 request_timeout=args.timeout,
                 shared_block_cache=args.shared_cache,
             )
         return SupervisedServerPool(
             index_path,
             n_workers=args.workers,
+            dispatch=args.dispatch,
             request_timeout=args.timeout,
             max_inflight=args.max_inflight,
             shared_block_cache=args.shared_cache,
@@ -474,6 +488,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     payload = {
         "pool": args.pool,
         "workers": args.workers,
+        "dispatch": args.dispatch,
         "threads": args.threads,
         "mode": "open" if args.rate is not None else "closed",
         "queries": report.n_queries,
@@ -503,7 +518,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     else:
         print(
             f"{payload['mode']}-loop replay: {payload['queries']} queries on "
-            f"{args.workers} {args.pool} workers, {args.threads} client threads"
+            f"{args.workers} {args.pool} workers "
+            f"({args.dispatch} dispatch), {args.threads} client threads"
         )
         print(
             f"  {payload['qps']:.1f} q/s; p50 {payload['p50_ms']:.2f} ms, "

@@ -19,6 +19,13 @@ from repro.core.coverage import (
     greedy_max_coverage,
     lazy_greedy_max_coverage,
 )
+from repro.core.dispatch import (
+    Crc32Dispatcher,
+    Dispatcher,
+    FrequencySketch,
+    RendezvousDispatcher,
+    make_dispatcher,
+)
 from repro.core.estimation import (
     OptEstimate,
     deterministic_opt_floor,
@@ -72,6 +79,11 @@ __all__ = [
     "ServerPool",
     "ProcessServerPool",
     "SupervisedServerPool",
+    "Dispatcher",
+    "Crc32Dispatcher",
+    "RendezvousDispatcher",
+    "FrequencySketch",
+    "make_dispatcher",
     "ShardHealth",
     "PoolHealth",
     "ServerStats",

@@ -40,8 +40,8 @@ instead of a hang.
 
 Answers are bit-identical to :meth:`KBTIMServer.query` and to the thread
 pool: each worker runs the same ``KBTIMServer`` code over the same
-immutable file, and dispatch shares
-:func:`~repro.core.server.shard_of_keyword`.
+immutable file, and dispatch shares the same pluggable
+:class:`~repro.core.dispatch.Dispatcher` policies.
 """
 
 from __future__ import annotations
@@ -55,6 +55,7 @@ import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.core.dispatch import Dispatcher, make_dispatcher
 from repro.core.query import KBTIMQuery, KeywordRef
 from repro.core.results import SeedSelection
 from repro.core.server import (
@@ -62,7 +63,6 @@ from repro.core.server import (
     ServerStats,
     _sharded_batch,
     process_rss_bytes,
-    shard_of_keyword,
 )
 from repro.core.shm_cache import SharedBlockCache, shared_cache_name_for
 from repro.core.transport import (
@@ -425,9 +425,10 @@ class ProcessServerPool:
     """N worker *processes* sharding one immutable RR index file.
 
     The process-level counterpart of the thread
-    :class:`~repro.core.server.ServerPool`: same keyword-sharded
-    dispatch (``crc32`` of the query's primary keyword via
-    :func:`~repro.core.server.shard_of_keyword`), same sharded
+    :class:`~repro.core.server.ServerPool`: same pluggable dispatch
+    (a :class:`~repro.core.dispatch.Dispatcher` — static ``"crc32"`` on
+    the query's primary keyword by default, load-aware
+    ``"rendezvous"`` opt-in), same sharded
     :meth:`query_batch`, :meth:`warm`/:meth:`evict_all` fan-out and
     merged :class:`~repro.core.server.ServerStats` view — but each
     worker owns a whole :class:`~repro.core.server.KBTIMServer` (reader,
@@ -475,11 +476,17 @@ class ProcessServerPool:
     shm_cache_slots:
         Directory capacity of the shared block cache (keywords held at
         once); only meaningful with ``shared_block_cache=True``.
+    dispatch:
+        Shard-selection policy: ``"crc32"`` (exact legacy static map,
+        the default), ``"rendezvous"`` (load-aware, skew-balancing), or
+        a pre-built :class:`~repro.core.dispatch.Dispatcher` sized for
+        ``n_workers`` shards.
 
     Raises
     ------
     ValueError
-        On a non-positive ``n_workers`` or ``cache_keywords``.
+        On a non-positive ``n_workers`` or ``cache_keywords``, or an
+        unknown/mis-sized ``dispatch``.
     CorruptIndexError
         If ``path`` is not a readable RR index (checked in the parent
         before any process is spawned).
@@ -516,8 +523,10 @@ class ProcessServerPool:
         flat_transport: bool = True,
         shared_block_cache: bool = False,
         shm_cache_slots: int = 64,
+        dispatch: "str | Dispatcher" = "crc32",
     ) -> None:
         self.n_workers = check_positive_int("n_workers", n_workers)
+        self.dispatcher = make_dispatcher(dispatch, self.n_workers)
         check_positive_int("cache_keywords", cache_keywords)
         self.path = str(path)
         self.request_timeout = request_timeout
@@ -657,22 +666,30 @@ class ProcessServerPool:
             raise IndexError_(f"topic id {keyword!r} is not in the index")
         return name
 
-    def shard_of(self, query: KBTIMQuery) -> int:
-        """The worker this query dispatches to (primary-keyword hash).
+    def _resolved_names(self, query: KBTIMQuery) -> List[str]:
+        """The query's keyword refs resolved to names, for dispatch."""
+        return [self._resolve(kw) for kw in query.keywords]
 
-        Identical mapping to the thread pool's
-        :meth:`~repro.core.server.ServerPool.shard_of` — both hash the
-        lexicographically smallest resolved keyword through
-        :func:`~repro.core.server.shard_of_keyword`.
+    def shard_of(self, query: KBTIMQuery) -> int:
+        """The worker this query would dispatch to right now.
+
+        A side-effect-free peek at the pool's
+        :class:`~repro.core.dispatch.Dispatcher`; identical mapping to
+        the thread pool's
+        :meth:`~repro.core.server.ServerPool.shard_of` given the same
+        policy and dispatcher state (both resolve keywords to the same
+        names and share the dispatch implementation).
 
         Raises
         ------
         IndexError_
             If a topic-id keyword ref is not in the index.
         """
-        return shard_of_keyword(
-            min(self._resolve(kw) for kw in query.keywords), self.n_workers
-        )
+        return self.dispatcher.peek(self._resolved_names(query))
+
+    def _route(self, query: KBTIMQuery) -> int:
+        """Choose and *record* the serving shard for one query."""
+        return self.dispatcher.route(self._resolved_names(query))
 
     # ------------------------------------------------------------------
     # serving
@@ -686,9 +703,15 @@ class ProcessServerPool:
         has died or the pool is closed.
         """
         self._check_open()
-        return self._workers[self.shard_of(query)].request(
-            "query", query, timeout=self.request_timeout
-        )
+        shard = self._route(query)
+        self.dispatcher.begin(shard)
+        started = time.perf_counter()
+        try:
+            return self._workers[shard].request(
+                "query", query, timeout=self.request_timeout
+            )
+        finally:
+            self.dispatcher.complete(shard, time.perf_counter() - started)
 
     def query_batch(
         self, queries: Sequence[KBTIMQuery], *, concurrent: bool = True
@@ -714,21 +737,31 @@ class ProcessServerPool:
             If a serving worker died mid-batch.
         """
         self._check_open()
-        return _sharded_batch(
-            queries,
-            self.shard_of,
-            lambda shard, sub: self._workers[shard].request(
-                "query_batch", sub, timeout=self.request_timeout
-            ),
-            concurrent,
-        )
+
+        def run_subbatch(shard: int, sub: List[KBTIMQuery]) -> List[SeedSelection]:
+            self.dispatcher.begin(shard, units=len(sub))
+            started = time.perf_counter()
+            try:
+                return self._workers[shard].request(
+                    "query_batch", sub, timeout=self.request_timeout
+                )
+            finally:
+                self.dispatcher.complete(
+                    shard, time.perf_counter() - started, units=len(sub)
+                )
+
+        return _sharded_batch(queries, self._route, run_subbatch, concurrent)
 
     # ------------------------------------------------------------------
     # administration
     # ------------------------------------------------------------------
     def warm(self, keywords: Iterable[KeywordRef]) -> None:
-        """Pre-load each keyword on the worker process that owns it.
+        """Pre-load each keyword on every worker its traffic can land on.
 
+        Routing follows the dispatcher's
+        :meth:`~repro.core.dispatch.Dispatcher.homes_of_name` — one
+        owning shard under ``"crc32"``, a hot keyword's whole replica
+        set under ``"rendezvous"``.
         Grouped fan-out: one request per populated shard.  Counted under
         each worker's ``warm_loads``, exactly like the thread pool.  A
         dead shard does not abort the fan-out: every *surviving* shard
@@ -749,9 +782,8 @@ class ProcessServerPool:
         by_shard: Dict[int, List[str]] = {}
         for kw in keywords:
             name = self._resolve(kw)
-            by_shard.setdefault(shard_of_keyword(name, self.n_workers), []).append(
-                name
-            )
+            for shard in self.dispatcher.homes_of_name(name):
+                by_shard.setdefault(shard, []).append(name)
         self._fanout(
             [
                 (shard, "warm", names)

@@ -20,9 +20,10 @@ Three tiers of concurrency are layered here:
   array slicing — bit-identical answers to sequential :meth:`query`
   calls at a fraction of the load/decode work.
 * :class:`ServerPool` shards keywords across N servers over one index
-  file (hash dispatch on the query's primary keyword), so concurrent
-  traffic spreads over independent caches while sharing one buffer
-  pool.
+  file behind a pluggable dispatcher (``repro.core.dispatch``: static
+  crc32 on the primary keyword, or load-aware rendezvous hashing with
+  hot-keyword replication), so concurrent traffic spreads over
+  independent caches while sharing one buffer pool.
 
 Results are identical to :meth:`RRIndex.query` in every mode (asserted
 by the tests); only the cost profile changes: a warm keyword costs zero
@@ -34,7 +35,6 @@ from __future__ import annotations
 import os
 import threading
 import time
-import zlib
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -43,6 +43,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.coverage import lazy_greedy_max_coverage, merge_coverage_csr
+from repro.core.dispatch import Dispatcher, make_dispatcher, shard_of_keyword
 from repro.core.query import KBTIMQuery, resolve_unique
 from repro.core.results import QueryStats, SeedSelection
 from repro.core.rr_index import KeywordCoverageCSR, RRIndex, plan_theta_q
@@ -58,17 +59,6 @@ __all__ = [
     "process_rss_bytes",
     "shard_of_keyword",
 ]
-
-
-def shard_of_keyword(name: str, n_shards: int) -> int:
-    """The shard owning one resolved keyword name.
-
-    ``zlib.crc32`` (not the salted builtin ``hash``) keeps the mapping
-    deterministic across processes — the thread :class:`ServerPool`, the
-    process pool and any external router all agree on which worker owns
-    a keyword, so pre-warmed blocks land where their traffic will.
-    """
-    return zlib.crc32(name.encode("utf-8")) % n_shards
 
 
 def process_rss_bytes(pid: Optional[int] = None) -> int:
@@ -739,12 +729,16 @@ class ServerPool:
     The pool opens ``n_workers`` independent readers over one index file
     — each with its own file handle, I/O counters and block cache, all
     sharing one page-level :class:`~repro.storage.pager.BufferPool` — and
-    dispatches each query to the worker owning the query's *primary
-    keyword* (its lexicographically smallest resolved keyword), via a
-    process-independent hash.  Keyword skew thus turns into cache
-    locality: all traffic for a hot vertical lands on one worker, whose
-    block cache serves it without cross-worker invalidation, while other
-    workers stay free for the rest of the keyword space.
+    routes every query through a pluggable
+    :class:`~repro.core.dispatch.Dispatcher`.  The default ``"crc32"``
+    policy sends each query to the worker owning its *primary keyword*
+    (lexicographically smallest resolved keyword) via a
+    process-independent hash, turning keyword skew into cache locality;
+    ``"rendezvous"`` trades that static mapping for load-aware weighted
+    rendezvous hashing with hot-keyword replication, which keeps
+    per-shard query counts balanced under Zipf head traffic (see
+    ``repro.core.dispatch``).  Answers are bit-identical either way:
+    every worker serves the same immutable index.
 
     Parameters
     ----------
@@ -761,11 +755,17 @@ class ServerPool:
     prefix_cache_keywords:
         Per-worker decoded-prefix-cache capacity; ``None`` keeps the
         reader default, ``0`` disables that tier.
+    dispatch:
+        Shard-selection policy: ``"crc32"`` (exact legacy static map,
+        the default), ``"rendezvous"`` (load-aware, skew-balancing), or
+        a pre-built :class:`~repro.core.dispatch.Dispatcher` sized for
+        ``n_workers`` shards.
 
     Raises
     ------
     ValueError
-        On a non-positive ``n_workers`` or ``cache_keywords``.
+        On a non-positive ``n_workers`` or ``cache_keywords``, or an
+        unknown/mis-sized ``dispatch``.
     CorruptIndexError
         If ``path`` is not a readable RR index.
 
@@ -782,8 +782,10 @@ class ServerPool:
         pool_pages: int = 4096,
         page_size: int = DEFAULT_PAGE_SIZE,
         prefix_cache_keywords: Optional[int] = None,
+        dispatch: "str | Dispatcher" = "crc32",
     ) -> None:
         self.n_workers = check_positive_int("n_workers", n_workers)
+        self.dispatcher = make_dispatcher(dispatch, self.n_workers)
         self.buffer_pool = BufferPool(pool_pages)
         index_kwargs = dict(pool=self.buffer_pool, page_size=page_size)
         if prefix_cache_keywords is not None:
@@ -804,32 +806,35 @@ class ServerPool:
         self.workers: Tuple[KBTIMServer, ...] = tuple(workers)
 
     # ------------------------------------------------------------------
-    def _shard_of_name(self, name: str) -> int:
-        """The worker owning one resolved keyword name.
+    def _resolved_names(self, query: KBTIMQuery) -> List[str]:
+        """The query's keyword refs resolved to names, for dispatch.
 
-        Routes through :func:`shard_of_keyword`, the process-independent
-        mapping shared with the process pool.  :meth:`shard_of` and
-        :meth:`warm` both route through here, so pre-warmed keywords are
-        guaranteed to land where their traffic will.
+        Resolution only: full validation (duplicates, budget) stays with
+        the serving worker, so it runs once per query.
         """
-        return shard_of_keyword(name, self.n_workers)
+        resolver = self.workers[0].index._resolve
+        return [resolver(kw) for kw in query.keywords]
 
     def shard_of(self, query: KBTIMQuery) -> int:
-        """The worker index this query dispatches to.
+        """The worker this query would dispatch to right now.
 
-        Dispatch hashes the query's *primary* keyword — the
-        lexicographically smallest resolved name — so all queries
-        anchored on one keyword share one worker's cache.  Resolution
-        only: full validation (duplicates, budget) stays with the
-        serving worker, so it runs once per query.
+        A side-effect-free peek at the pool's
+        :class:`~repro.core.dispatch.Dispatcher` — it never records the
+        decision, so asking does not steer subsequent traffic.  Under
+        the static ``"crc32"`` policy the answer is the crc32 hash of
+        the query's primary keyword; under ``"rendezvous"`` it reflects
+        the dispatcher's current load/hot-set state.
 
         Raises
         ------
         IndexError_
             If a keyword ref is not in the index.
         """
-        resolver = self.workers[0].index._resolve
-        return self._shard_of_name(min(resolver(kw) for kw in query.keywords))
+        return self.dispatcher.peek(self._resolved_names(query))
+
+    def _route(self, query: KBTIMQuery) -> int:
+        """Choose and *record* the serving shard for one query."""
+        return self.dispatcher.route(self._resolved_names(query))
 
     def query(self, query: KBTIMQuery) -> SeedSelection:
         """Answer one query on its shard's worker (Algorithm 2 semantics).
@@ -837,7 +842,13 @@ class ServerPool:
         Same parameters, return value and exceptions as
         :meth:`KBTIMServer.query`.
         """
-        return self.workers[self.shard_of(query)].query(query)
+        shard = self._route(query)
+        self.dispatcher.begin(shard)
+        started = time.perf_counter()
+        try:
+            return self.workers[shard].query(query)
+        finally:
+            self.dispatcher.complete(shard, time.perf_counter() - started)
 
     def query_batch(
         self, queries: Sequence[KBTIMQuery], *, concurrent: bool = True
@@ -857,25 +868,34 @@ class ServerPool:
             sub-batch's planning phase, before that shard touches disk;
             other shards' sub-batches may still have been answered.
         """
-        return _sharded_batch(
-            queries,
-            self.shard_of,
-            lambda shard, sub: self.workers[shard].query_batch(sub),
-            concurrent,
-        )
+        def run_subbatch(shard: int, sub: List[KBTIMQuery]) -> List[SeedSelection]:
+            self.dispatcher.begin(shard, units=len(sub))
+            started = time.perf_counter()
+            try:
+                return self.workers[shard].query_batch(sub)
+            finally:
+                self.dispatcher.complete(
+                    shard, time.perf_counter() - started, units=len(sub)
+                )
+
+        return _sharded_batch(queries, self._route, run_subbatch, concurrent)
 
     # ------------------------------------------------------------------
     def warm(self, keywords: Iterable) -> None:
-        """Pre-load each keyword on the worker that owns it.
+        """Pre-load each keyword on every worker its traffic can land on.
 
-        A keyword is warmed where single-keyword (and primary-keyword)
-        traffic for it will land, so the pre-load actually fronts the
-        queries that follow.  Counted under each worker's ``warm_loads``.
+        Routed through the dispatcher's
+        :meth:`~repro.core.dispatch.Dispatcher.homes_of_name`, so a
+        keyword is warmed exactly where queries for it will dispatch —
+        one shard under ``"crc32"``, the full replica set for a hot
+        keyword under ``"rendezvous"``.  Counted under each worker's
+        ``warm_loads``.
         """
         resolver = self.workers[0].index._resolve
         for kw in keywords:
             name = resolver(kw)
-            self.workers[self._shard_of_name(name)].warm([name])
+            for shard in self.dispatcher.homes_of_name(name):
+                self.workers[shard].warm([name])
 
     def evict_all(self) -> None:
         """Drop every worker's cached blocks and decoded prefixes."""

@@ -62,7 +62,6 @@ from repro.core.server import (
     ServerStats,
     _sharded_batch,
     process_rss_bytes,
-    shard_of_keyword,
 )
 from repro.errors import (
     DeadlineExceededError,
@@ -229,11 +228,19 @@ class SupervisedServerPool:
     **pool_kwargs:
         Forwarded to :class:`ProcessServerPool` (``cache_keywords``,
         ``pool_pages``, ``start_method``, ``flat_transport``,
-        ``shared_block_cache``, ...).  The flat-array answer transport
-        and the shared decoded-block cache are therefore available
-        under supervision unchanged — a supervisor-initiated restart
-        spawns a worker that *attaches* to the existing shared cache
-        and gets a fresh response segment.
+        ``shared_block_cache``, ``dispatch``, ...).  The flat-array
+        answer transport and the shared decoded-block cache are
+        therefore available under supervision unchanged — a
+        supervisor-initiated restart spawns a worker that *attaches* to
+        the existing shared cache and gets a fresh response segment.
+        With ``dispatch="rendezvous"`` the supervisors feed the
+        dispatcher's candidate set: degraded and drained shards drop
+        out of the rendezvous ranking, so their keywords redistribute
+        minimally across the survivors instead of failing, and a
+        restored shard gets exactly its old keywords back.  The default
+        ``"crc32"`` policy keeps the legacy static mapping, where an
+        unavailable shard's queries fail fast with
+        :class:`~repro.errors.ShardUnavailableError`.
 
     Raises
     ------
@@ -292,6 +299,7 @@ class SupervisedServerPool:
 
         self._pool = ProcessServerPool(path, n_workers=n_workers, **pool_kwargs)
         self.n_workers = self._pool.n_workers
+        self.dispatcher = self._pool.dispatcher
         self._shards = [_ShardSupervisor(i) for i in range(self.n_workers)]
         self._stats = ServerStats()  # parent-side: restarts/retries/sheds
         self._admission_lock = threading.Lock()
@@ -458,8 +466,13 @@ class SupervisedServerPool:
         *,
         deadline: Optional[float],
         count_retry: bool = True,
+        units: int = 1,
     ):
         """One supervised round trip to a shard, healing + retrying.
+
+        ``units`` is the request's weight against the dispatcher's
+        in-flight/latency gauges (``len(batch)`` for a sub-batch, ``0``
+        for admin fan-outs, which must not skew serving-load signals).
 
         Heals the shard if needed (restart behind backoff/budget),
         issues the request with the remaining deadline budget, and on a
@@ -481,6 +494,9 @@ class SupervisedServerPool:
                 )
             with sup.lock:
                 sup.inflight += 1
+            if units:
+                self.dispatcher.begin(shard, units=units)
+            started = time.perf_counter()
             try:
                 return self._pool._workers[shard].request(
                     method, payload, timeout=remaining
@@ -498,16 +514,60 @@ class SupervisedServerPool:
                 if count_retry:
                     self._stats.record_retry()
             finally:
+                if units:
+                    self.dispatcher.complete(
+                        shard, time.perf_counter() - started, units=units
+                    )
                 with sup.lock:
                     sup.inflight -= 1
 
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
+    def _candidates(self) -> List[int]:
+        """Shards currently eligible for dispatch (not drained/degraded).
+
+        The supervisors' availability view feeds the dispatcher's
+        candidate set: under ``"rendezvous"`` an excluded shard's
+        keywords redistribute minimally to the survivors; the static
+        ``"crc32"`` policy ignores candidates by design and keeps
+        failing fast on unavailable shards.
+
+        Raises
+        ------
+        ShardUnavailableError
+            When every shard is drained or degraded (``shard`` is -1:
+            the outage is pool-wide, not one shard's).
+        """
+        shards = [
+            s
+            for s, sup in enumerate(self._shards)
+            if not (sup.drained or sup.degraded)
+        ]
+        if not shards:
+            raise ShardUnavailableError(
+                "no shard available: every shard is drained or degraded; "
+                "call restore() to return shards to rotation",
+                shard=-1,
+                retry_after=None,
+            )
+        return shards
+
     def shard_of(self, query: KBTIMQuery) -> int:
-        """The shard this query dispatches to (same crc32 mapping as the
-        unsupervised pools)."""
-        return self._pool.shard_of(query)
+        """The shard this query would dispatch to right now (a pure peek).
+
+        Same dispatcher as the wrapped pool, restricted to the shards
+        the supervisors consider available.
+        """
+        return self.dispatcher.peek(
+            self._pool._resolved_names(query), self._candidates()
+        )
+
+    def _route(self, query: KBTIMQuery) -> int:
+        """Choose and *record* the serving shard among available shards."""
+        return self.dispatcher.route(
+            self._pool._resolved_names(query), self._candidates()
+        )
 
     def query(
         self, query: KBTIMQuery, *, timeout: Optional[float] = None
@@ -544,7 +604,7 @@ class SupervisedServerPool:
             If the worker died and every retry failed.
         """
         self._check_open()
-        shard = self._pool.shard_of(query)
+        shard = self._route(query)
         deadline = self._deadline(timeout)
         self._admit(1)
         try:
@@ -587,9 +647,9 @@ class SupervisedServerPool:
         try:
             return _sharded_batch(
                 queries,
-                self._pool.shard_of,
+                self._route,
                 lambda shard, sub: self._call_shard(
-                    shard, "query_batch", sub, deadline=deadline
+                    shard, "query_batch", sub, deadline=deadline, units=len(sub)
                 ),
                 concurrent,
             )
@@ -600,7 +660,11 @@ class SupervisedServerPool:
     # administration
     # ------------------------------------------------------------------
     def warm(self, keywords: Iterable[KeywordRef]) -> None:
-        """Pre-load each keyword on its owning shard, healing dead workers.
+        """Pre-load each keyword where its traffic can land, healing workers.
+
+        Routing follows the dispatcher's ``homes_of_name`` over the
+        currently available shards — one owning shard under ``"crc32"``,
+        a hot keyword's whole replica set under ``"rendezvous"``.
 
         Supervised fan-out: a down shard is restarted (backoff/budget
         permitting) before its warm request; shards that stay
@@ -610,11 +674,11 @@ class SupervisedServerPool:
         """
         self._check_open()
         by_shard: Dict[int, List[str]] = {}
+        candidates = self._candidates()
         for kw in keywords:
             name = self._pool._resolve(kw)
-            by_shard.setdefault(
-                shard_of_keyword(name, self.n_workers), []
-            ).append(name)
+            for shard in self.dispatcher.homes_of_name(name, candidates):
+                by_shard.setdefault(shard, []).append(name)
         self._supervised_fanout(
             [(shard, "warm", names) for shard, names in sorted(by_shard.items())]
         )
@@ -641,6 +705,7 @@ class SupervisedServerPool:
                     payload,
                     deadline=self._deadline(None),
                     count_retry=False,
+                    units=0,
                 )
             except ServerError as exc:
                 failures.append((shard, exc))

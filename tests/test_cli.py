@@ -261,6 +261,18 @@ class TestReplay:
         assert payload["qps"] > 0
         assert payload["p95_ms"] >= payload["p50_ms"]
 
+    def test_replay_rendezvous_dispatch(self, rr_index, dataset_files, capsys):
+        _graph, profiles = dataset_files
+        code = main(
+            self._replay_args(rr_index, profiles, "supervised")
+            + ["--dispatch", "rendezvous", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dispatch"] == "rendezvous"
+        assert payload["queries"] == 10
+        assert payload["failed"] == 0
+
     def test_replay_open_loop(self, rr_index, dataset_files, capsys):
         _graph, profiles = dataset_files
         code = main(

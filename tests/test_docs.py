@@ -42,7 +42,12 @@ class TestReadme:
         with open(ARCHITECTURE, "r", encoding="utf-8") as fh:
             text = fh.read()
         # the doc must keep mapping the paper to the code
-        for anchor in ("core/server.py", "KeywordCoverageCSR", "BufferPool"):
+        for anchor in (
+            "core/server.py",
+            "core/dispatch.py",
+            "KeywordCoverageCSR",
+            "BufferPool",
+        ):
             assert anchor in text, f"ARCHITECTURE.md lost its {anchor!r} section"
 
     def test_readme_snippets_execute(self):

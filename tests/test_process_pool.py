@@ -25,7 +25,7 @@ import pytest
 from repro.core.process_pool import ProcessServerPool
 from repro.core.query import KBTIMQuery
 from repro.core.rr_index import RRIndex, RRIndexBuilder
-from repro.core.server import ServerPool, ServerStats, shard_of_keyword
+from repro.core.server import ServerPool, ServerStats
 from repro.core.theta import ThetaPolicy
 from repro.datasets.workload import make_mixed_workload, replay
 from repro.errors import (
@@ -276,9 +276,8 @@ class TestStatsAccounting:
             assert sum(w.keyword_misses for w in per_worker) == 0
             cached = pool.worker_cached_keywords()
             for kw in ("music", "book"):
-                shard = shard_of_keyword(kw, pool.n_workers)
+                shard = pool.shard_of(KBTIMQuery((kw,), 1))
                 assert kw in cached[shard]
-                assert pool.shard_of(KBTIMQuery((kw,), 1)) == shard
 
     def test_evict_all_drops_every_worker_cache(self, setup):
         path, _profiles = setup
@@ -335,7 +334,7 @@ class TestWorkerDeath:
             survivor = next(
                 kw
                 for kw in ("book", "journal", "car", "travel", "food", "software")
-                if shard_of_keyword(kw, pool.n_workers) != victim
+                if pool.shard_of(KBTIMQuery((kw,), 2)) != victim
             )
             assert pool.query(KBTIMQuery((survivor,), 2)).seeds
             # And the dead shard fails fast again (no hang on retry).
@@ -365,16 +364,19 @@ def _kill_shard(pool: ProcessServerPool, shard: int) -> None:
     pool._workers[shard].process.join(timeout=10.0)
 
 
-def _two_keywords_on_distinct_shards(n_shards: int):
-    """Two keyword names from the test topic space owned by different shards."""
+def _two_keywords_on_distinct_shards(pool: ProcessServerPool):
+    """Two keyword names from the test topic space owned by different
+    shards, each paired with its owning shard (per the pool's own
+    dispatcher — no assumptions about the hash function)."""
     keywords = ("music", "book", "journal", "car", "travel", "food", "software")
     first = keywords[0]
-    second = next(
-        kw
+    first_shard = pool.shard_of(KBTIMQuery((first,), 1))
+    second, second_shard = next(
+        (kw, shard)
         for kw in keywords[1:]
-        if shard_of_keyword(kw, n_shards) != shard_of_keyword(first, n_shards)
+        if (shard := pool.shard_of(KBTIMQuery((kw,), 1))) != first_shard
     )
-    return first, second
+    return (first, first_shard), (second, second_shard)
 
 
 @pytest.mark.chaos
@@ -385,9 +387,9 @@ class TestFanoutDeath:
     def test_warm_applies_to_survivors_and_names_dead_shard(self, setup):
         path, _profiles = setup
         with ProcessServerPool(path, n_workers=3) as pool:
-            kw_dead, kw_live = _two_keywords_on_distinct_shards(pool.n_workers)
-            dead = shard_of_keyword(kw_dead, pool.n_workers)
-            live = shard_of_keyword(kw_live, pool.n_workers)
+            (kw_dead, dead), (kw_live, live) = _two_keywords_on_distinct_shards(
+                pool
+            )
             _kill_shard(pool, dead)
             with pytest.raises(ServerError) as excinfo:
                 pool.warm([kw_dead, kw_live])
@@ -402,9 +404,9 @@ class TestFanoutDeath:
     def test_evict_all_applies_to_survivors_and_names_dead_shard(self, setup):
         path, _profiles = setup
         with ProcessServerPool(path, n_workers=3) as pool:
-            kw_dead, kw_live = _two_keywords_on_distinct_shards(pool.n_workers)
-            dead = shard_of_keyword(kw_dead, pool.n_workers)
-            live = shard_of_keyword(kw_live, pool.n_workers)
+            (kw_dead, dead), (kw_live, live) = _two_keywords_on_distinct_shards(
+                pool
+            )
             pool.query(KBTIMQuery((kw_live,), 2))  # populate the live cache
             _kill_shard(pool, dead)
             with pytest.raises(ServerError) as excinfo:
